@@ -1,0 +1,113 @@
+package mobicol
+
+// One benchmark per experiment table/figure, as required by the
+// reproduction harness: `go test -bench=.` regenerates every table at
+// reduced trial counts through exactly the code paths cmd/mdgbench uses at
+// paper scale. Each benchmark reports the headline metric of its table as
+// a custom unit so shapes are visible straight from the bench output.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"mobicol/internal/bench"
+)
+
+func runExperiment(b *testing.B, id string, metricRow, metricCol int, unit string) {
+	run, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := bench.QuickConfig()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cell := tbl.Rows[metricRow][metricCol]
+		cell = strings.TrimSuffix(strings.TrimSuffix(cell, "%"), "x")
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			b.Fatalf("%s metric cell %q: %v", id, tbl.Rows[metricRow][metricCol], err)
+		}
+		last = v
+	}
+	b.ReportMetric(last, unit)
+}
+
+// BenchmarkE1OptimalGap regenerates E1 (small-network optimal comparison);
+// reports the heuristic's mean tour length on the largest row.
+func BenchmarkE1OptimalGap(b *testing.B) { runExperiment(b, "E1", 1, 2, "m_tour") }
+
+// BenchmarkE2TourVsN regenerates E2 (tour length vs N); reports SHDG's
+// tour length at the densest point.
+func BenchmarkE2TourVsN(b *testing.B) { runExperiment(b, "E2", 1, 1, "m_tour") }
+
+// BenchmarkE3TourVsRange regenerates E3 (tour length vs range).
+func BenchmarkE3TourVsRange(b *testing.B) { runExperiment(b, "E3", 2, 1, "m_tour") }
+
+// BenchmarkE4TourVsField regenerates E4 (tour length vs field side).
+func BenchmarkE4TourVsField(b *testing.B) { runExperiment(b, "E4", 1, 1, "m_tour") }
+
+// BenchmarkE5MultiCollector regenerates E5 (multi-collector splitting);
+// reports the max sub-tour length of the last row.
+func BenchmarkE5MultiCollector(b *testing.B) { runExperiment(b, "E5", 3, 3, "m_maxsub") }
+
+// BenchmarkE6Lifetime regenerates E6 (network lifetime); reports the
+// mobile scheme's lifetime in rounds at the densest point.
+func BenchmarkE6Lifetime(b *testing.B) { runExperiment(b, "E6", 1, 1, "rounds") }
+
+// BenchmarkE7Latency regenerates E7 (collection latency); reports the
+// mobile scheme's round time.
+func BenchmarkE7Latency(b *testing.B) { runExperiment(b, "E7", 1, 1, "s_round") }
+
+// BenchmarkE8Ablations regenerates E8 (planner ablations); reports the
+// default variant's tour length.
+func BenchmarkE8Ablations(b *testing.B) { runExperiment(b, "E8", 0, 1, "m_tour") }
+
+// BenchmarkE9BufferCapacity regenerates E9 (buffer-capacity extension);
+// reports the tightest capacity's tour length.
+func BenchmarkE9BufferCapacity(b *testing.B) { runExperiment(b, "E9", 2, 1, "m_tour") }
+
+// BenchmarkE10DESLatency regenerates E10 (closed-form vs discrete-event
+// latency); reports the static sink's DES drain time at the densest point.
+func BenchmarkE10DESLatency(b *testing.B) { runExperiment(b, "E10", 1, 2, "s_drain") }
+
+// BenchmarkE11Obstacles regenerates E11 (obstacle-aware planning); reports
+// the driven tour length on the obstructed row.
+func BenchmarkE11Obstacles(b *testing.B) { runExperiment(b, "E11", 1, 1, "m_driven") }
+
+// BenchmarkE12LossyLinks regenerates E12 (lossy links); reports the mobile
+// scheme's lifetime under the mild model.
+func BenchmarkE12LossyLinks(b *testing.B) { runExperiment(b, "E12", 1, 1, "rounds") }
+
+// BenchmarkE13Scheduling regenerates E13 (visit scheduling); reports the
+// EDF loss fraction at the highest sampled rate.
+func BenchmarkE13Scheduling(b *testing.B) { runExperiment(b, "E13", 1, 4, "lossfrac") }
+
+// BenchmarkE14Hetero regenerates E14 (heterogeneous ranges); reports the
+// all-weak tour length.
+func BenchmarkE14Hetero(b *testing.B) { runExperiment(b, "E14", 2, 1, "m_tour") }
+
+// BenchmarkE15Adaptive regenerates E15 (degradation past first death);
+// reports the mobile half-service life.
+func BenchmarkE15Adaptive(b *testing.B) { runExperiment(b, "E15", 0, 2, "rounds") }
+
+// BenchmarkPlannerOnly isolates the heuristic planner itself (no sweep):
+// one 200-sensor plan per iteration.
+func BenchmarkPlannerOnly(b *testing.B) {
+	nw := Deploy(DeployConfig{N: 200, FieldSide: 200, Range: 30, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanTour(nw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE16Rotation regenerates E16 (plan rotation); reports the
+// rotated lifetime on the multi-plan row.
+func BenchmarkE16Rotation(b *testing.B) { runExperiment(b, "E16", 1, 1, "rounds") }

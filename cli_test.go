@@ -1,0 +1,121 @@
+package mobicol
+
+// End-to-end tests of the four CLI tools: build each binary once, then
+// drive the documented pipelines (generate → plan → simulate) through
+// real process boundaries, JSON files and pipes included.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	cliOnce sync.Once
+	cliDir  string
+	cliErr  error
+)
+
+// buildCLIs compiles the cmd binaries into a shared temp dir once.
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	cliOnce.Do(func() {
+		cliDir, cliErr = os.MkdirTemp("", "mobicol-cli")
+		if cliErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", cliDir+string(filepath.Separator), "./cmd/...")
+		var out bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &out, &out
+		if err := cmd.Run(); err != nil {
+			cliErr = err
+			t.Logf("go build output:\n%s", out.String())
+		}
+	})
+	if cliErr != nil {
+		t.Fatalf("building CLIs: %v", cliErr)
+	}
+	return cliDir
+}
+
+func runCLI(t *testing.T, stdin []byte, name string, args ...string) (stdout, stderr string) {
+	t.Helper()
+	dir := buildCLIs(t)
+	cmd := exec.Command(filepath.Join(dir, name), args...)
+	if stdin != nil {
+		cmd.Stdin = bytes.NewReader(stdin)
+	}
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &outBuf, &errBuf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstderr: %s", name, args, err, errBuf.String())
+	}
+	return outBuf.String(), errBuf.String()
+}
+
+func TestCLIPipelinePlan(t *testing.T) {
+	net, _ := runCLI(t, nil, "wsngen", "-n", "80", "-side", "150", "-range", "30", "-seed", "4")
+	out, _ := runCLI(t, []byte(net), "mdgplan", "-algo", "shdg", "-k", "2")
+	for _, want := range []string{"algorithm:", "stops:", "tour:", "served:     80/80", "collectors: 2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mdgplan output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIPlanArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	netPath := filepath.Join(dir, "net.json")
+	svgPath := filepath.Join(dir, "tour.svg")
+	jsonPath := filepath.Join(dir, "plan.json")
+	runCLI(t, nil, "wsngen", "-n", "60", "-seed", "7", "-o", netPath)
+	runCLI(t, nil, "mdgplan", "-net", netPath, "-svg", svgPath, "-json", jsonPath)
+	svg, err := os.ReadFile(svgPath)
+	if err != nil || !bytes.HasPrefix(svg, []byte("<svg")) {
+		t.Fatalf("svg artifact bad: %v", err)
+	}
+	plan, err := os.ReadFile(jsonPath)
+	if err != nil || !bytes.Contains(plan, []byte(`"stops"`)) {
+		t.Fatalf("plan artifact bad: %v", err)
+	}
+}
+
+func TestCLIObstaclePipeline(t *testing.T) {
+	dir := t.TempDir()
+	obstPath := filepath.Join(dir, "obst.json")
+	netPath := filepath.Join(dir, "net.json")
+	course := `{"obstacles":[[[60,55],[95,55],[95,90],[60,90]]]}`
+	if err := os.WriteFile(obstPath, []byte(course), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runCLI(t, nil, "wsngen", "-n", "70", "-seed", "9", "-obstacles", obstPath, "-o", netPath)
+	out, _ := runCLI(t, nil, "mdgplan", "-net", netPath, "-obstacles", obstPath)
+	if !strings.Contains(out, "obstacles:  1") || !strings.Contains(out, "detour") {
+		t.Fatalf("obstacle mode output:\n%s", out)
+	}
+}
+
+func TestCLILifetime(t *testing.T) {
+	net, _ := runCLI(t, nil, "wsngen", "-n", "100", "-seed", "2")
+	out, _ := runCLI(t, []byte(net), "mdglife", "-battery", "0.01")
+	for _, want := range []string{"shdg", "cla", "straight-line", "static-sink"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mdglife output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIBenchSingleExperiment(t *testing.T) {
+	out, _ := runCLI(t, nil, "mdgbench", "-e", "E2", "-trials", "2")
+	if !strings.Contains(out, "E2 — tour length vs number of sensors") {
+		t.Fatalf("mdgbench output:\n%s", out)
+	}
+	csvOut, _ := runCLI(t, nil, "mdgbench", "-e", "E2", "-trials", "2", "-csv")
+	if !strings.HasPrefix(csvOut, "N,SHDG(m)") {
+		t.Fatalf("mdgbench csv output:\n%s", csvOut)
+	}
+}

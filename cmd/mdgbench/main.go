@@ -1,0 +1,59 @@
+// mdgbench regenerates the paper-reproduction experiment tables E1–E13
+// documented in DESIGN.md and EXPERIMENTS.md.
+//
+// Usage:
+//
+//	mdgbench               # every experiment at the default 30 trials
+//	mdgbench -e E2,E6      # selected experiments
+//	mdgbench -trials 500   # paper-scale averaging (slow)
+//	mdgbench -e E2 -csv    # machine-readable output for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mobicol/internal/bench"
+)
+
+func main() {
+	var (
+		exps   = flag.String("e", "all", "comma-separated experiment IDs (E1..E13) or all")
+		trials = flag.Int("trials", 30, "random topologies per parameter point (paper: 500)")
+		seed   = flag.Uint64("seed", 1, "base seed")
+		asCSV  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+	cfg := bench.Config{Trials: *trials, Seed: *seed}
+
+	var ids []string
+	if *exps == "all" {
+		ids = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			ids = append(ids, strings.TrimSpace(strings.ToUpper(id)))
+		}
+	}
+	for _, id := range ids {
+		run, ok := bench.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mdgbench: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		tbl, err := run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdgbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		render := tbl.Render
+		if *asCSV {
+			render = tbl.WriteCSV
+		}
+		if err := render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mdgbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// mdgplan plans a mobile data-gathering tour for a deployment.
+//
+// Usage:
+//
+//	wsngen -n 200 | mdgplan -algo shdg
+//	mdgplan -net net.json -algo exact -svg tour.svg
+//	mdgplan -net net.json -algo shdg -k 3      # split across 3 collectors
+//
+// Algorithms: shdg (heuristic planner, default), exact (small instances),
+// visit-all (tour over every sensor), cla (covering-line baseline).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mobicol/internal/baselines"
+	"mobicol/internal/collector"
+	"mobicol/internal/cover"
+	"mobicol/internal/mtsp"
+	"mobicol/internal/obstacle"
+	"mobicol/internal/shdgp"
+	"mobicol/internal/tsp"
+	"mobicol/internal/viz"
+	"mobicol/internal/wsn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "mdgplan: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		netPath    = flag.String("net", "-", "deployment JSON (wsngen output), or - for stdin")
+		algo       = flag.String("algo", "shdg", "shdg|exact|visit-all|cla")
+		candidates = flag.String("candidates", "sites", "sites|grid|intersections (shdg/exact)")
+		gridStep   = flag.Float64("grid", 20, "grid spacing for -candidates grid")
+		k          = flag.Int("k", 1, "number of collectors (>1 splits the tour)")
+		bound      = flag.Float64("bound", 0, "per-collector tour bound in metres (0 = none)")
+		svgPath    = flag.String("svg", "", "write an SVG rendering to this path")
+		speed      = flag.Float64("speed", 1, "collector speed in m/s (latency report)")
+		obstPath   = flag.String("obstacles", "", "obstacle course JSON; plans the driven path around them")
+		jsonPath   = flag.String("json", "", "write the executable plan (stops + assignment) as JSON")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *netPath != "-" {
+		f, err := os.Open(*netPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	nw, err := wsn.ReadJSON(in)
+	if err != nil {
+		return err
+	}
+
+	if *obstPath != "" {
+		return runObstacles(nw, *obstPath, *svgPath, *speed)
+	}
+
+	p := shdgp.NewProblem(nw)
+	switch *candidates {
+	case "sites":
+		p.Strategy = cover.SensorSites
+	case "grid":
+		p.Strategy = cover.FieldGrid
+		p.GridSpacing = *gridStep
+	case "intersections":
+		p.Strategy = cover.Intersections
+	default:
+		return fmt.Errorf("unknown candidate strategy %q", *candidates)
+	}
+
+	var plan *collector.TourPlan
+	var label string
+	switch *algo {
+	case "shdg":
+		sol, err := shdgp.Plan(p, shdgp.DefaultPlannerOptions())
+		if err != nil {
+			return err
+		}
+		plan, label = sol.Plan, sol.Algorithm
+	case "exact":
+		sol, err := shdgp.PlanExact(p, shdgp.DefaultExactLimits())
+		if err != nil {
+			return err
+		}
+		plan, label = sol.Plan, sol.Algorithm
+		if !sol.Exact {
+			fmt.Fprintln(os.Stderr, "mdgplan: warning: node cap tripped; solution may be suboptimal")
+		}
+	case "visit-all":
+		sol, err := shdgp.PlanVisitAll(p, tsp.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		plan, label = sol.Plan, sol.Algorithm
+	case "cla":
+		plan, err = baselines.PlanCLA(nw)
+		if err != nil {
+			return err
+		}
+		label = "cla"
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+
+	spec := collector.Spec{Speed: *speed, UploadTime: 0.1}
+	fmt.Printf("network:    %v\n", nw)
+	fmt.Printf("algorithm:  %s\n", label)
+	fmt.Printf("stops:      %d\n", len(plan.Stops))
+	fmt.Printf("tour:       %.1f m\n", plan.Length())
+	fmt.Printf("served:     %d/%d sensors\n", plan.Served(), nw.N())
+	fmt.Printf("round time: %.1f s at %.1f m/s\n", plan.RoundTime(spec), *speed)
+
+	if *k > 1 || *bound > 0 {
+		var mp *mtsp.MultiPlan
+		if *bound > 0 {
+			mp, err = mtsp.MinCollectors(nw.Sink, plan.Stops, *bound, tsp.DefaultOptions())
+		} else {
+			mp, err = mtsp.MinMaxSplit(nw.Sink, plan.Stops, *k, tsp.DefaultOptions())
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("collectors: %d\n", mp.K())
+		for i, l := range mp.Lengths() {
+			fmt.Printf("  sub-tour %d: %.1f m (%d stops)\n", i+1, l, len(mp.Tours[i]))
+		}
+		fmt.Printf("max sub-tour: %.1f m (round time %.1f s)\n",
+			mp.MaxLength(), mp.MaxLength()/(*speed))
+	}
+
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := viz.RenderTour(f, nw, plan, viz.DefaultStyle()); err != nil {
+			return err
+		}
+		fmt.Printf("svg:        %s\n", *svgPath)
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := plan.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("json:       %s\n", *jsonPath)
+	}
+	return nil
+}
+
+// runObstacles handles the -obstacles mode: obstacle-aware planning with
+// its own reporting and rendering.
+func runObstacles(nw *wsn.Network, obstPath, svgPath string, speed float64) error {
+	f, err := os.Open(obstPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	course, err := obstacle.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	tour, err := obstacle.PlanTour(nw, course)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network:    %v\n", nw)
+	fmt.Printf("obstacles:  %d\n", len(course.Obstacles))
+	fmt.Printf("stops:      %d\n", len(tour.Stops))
+	fmt.Printf("euclidean:  %.1f m\n", tour.Euclidean)
+	fmt.Printf("driven:     %.1f m (detour %.3fx, %d waypoints)\n",
+		tour.Length, tour.DetourFactor(), len(tour.Waypoints))
+	fmt.Printf("round time: %.1f s at %.1f m/s\n", tour.Length/speed, speed)
+	if svgPath != "" {
+		out, err := os.Create(svgPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := viz.RenderObstacleTour(out, nw, course, tour, viz.DefaultStyle()); err != nil {
+			return err
+		}
+		fmt.Printf("svg:        %s\n", svgPath)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module mobicol
+
+go 1.22

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"mobicol/internal/shdgp"
+	"mobicol/internal/tsp"
+	"mobicol/internal/wsn"
+)
+
+// Config scales every experiment. The paper averages 500 random topologies
+// per point; the default here is lighter so tables regenerate in seconds,
+// and cmd/mdgbench -trials 500 reproduces the paper-scale averaging.
+type Config struct {
+	// Trials is the number of random topologies per parameter point.
+	Trials int
+	// Seed offsets the per-trial deployment seeds, making every table
+	// reproducible and every trial independent.
+	Seed uint64
+	// Quick shrinks sweep ranges for use inside testing.B loops.
+	Quick bool
+}
+
+// DefaultConfig runs 30 trials per point.
+func DefaultConfig() Config { return Config{Trials: 30, Seed: 1} }
+
+// QuickConfig is the configuration the root benchmarks use.
+func QuickConfig() Config { return Config{Trials: 3, Seed: 1, Quick: true} }
+
+func (c Config) trials() int {
+	if c.Trials <= 0 {
+		return 30
+	}
+	return c.Trials
+}
+
+// deploy builds the trial's network.
+func deploy(n int, side, r float64, seed uint64) *wsn.Network {
+	return wsn.Deploy(wsn.Config{N: n, FieldSide: side, Range: r, Seed: seed})
+}
+
+// planSHDG runs the default heuristic planner.
+func planSHDG(nw *wsn.Network) (*shdgp.Solution, error) {
+	return shdgp.Plan(shdgp.NewProblem(nw), shdgp.DefaultPlannerOptions())
+}
+
+// tspOpts is the tour configuration shared by the harness.
+func tspOpts() tsp.Options { return tsp.DefaultOptions() }

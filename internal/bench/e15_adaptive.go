@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"fmt"
+
+	"mobicol/internal/sim"
+	"mobicol/internal/stats"
+)
+
+// E15Adaptive measures degradation past the first death with re-planning:
+// half-service life (rounds with at least half the fleet alive AND
+// gathered) and the served fraction of survivors at that point. Mobile
+// re-planning keeps every survivor served; the static sink's relay core
+// dies first and strands the rest.
+func E15Adaptive(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E15",
+		Title:  "degradation beyond first death, with re-planning (L=200m, R=30m, 0.05J)",
+		Header: []string{"N", "mobile first death", "mobile half-service", "static first death", "static half-service", "static served@half", "mobile replans"},
+		Notes: []string{
+			"half-service life = rounds until fewer than half the sensors are alive and served",
+			fmt.Sprintf("%d trials per point", cfg.trials()),
+		},
+	}
+	ns := []int{100, 200, 300}
+	if cfg.Quick {
+		ns = []int{100}
+	}
+	const horizon = 2_000_000
+	for _, n := range ns {
+		var mFirst, mHalf, sFirst, sHalf, sServed, mReplans []float64
+		for trial := 0; trial < cfg.trials(); trial++ {
+			seed := cfg.Seed + uint64(trial)*81041 + uint64(n)
+			nw := deploy(n, 200, 30, seed)
+			mob, err := sim.RunAdaptiveMobile(nw, lifetimeModel(), horizon)
+			if err != nil {
+				return nil, err
+			}
+			st, err := sim.RunAdaptiveStatic(nw, lifetimeModel(), horizon)
+			if err != nil {
+				return nil, err
+			}
+			mFirst = append(mFirst, float64(mob.FirstDeath))
+			mHalf = append(mHalf, float64(mob.HalfLife))
+			sFirst = append(sFirst, float64(st.FirstDeath))
+			sHalf = append(sHalf, float64(st.HalfLife))
+			sServed = append(sServed, st.ServedAtHalf)
+			mReplans = append(mReplans, float64(mob.Replans))
+		}
+		t.AddRow(d(n), f1(stats.Mean(mFirst)), f1(stats.Mean(mHalf)),
+			f1(stats.Mean(sFirst)), f1(stats.Mean(sHalf)),
+			f2(stats.Mean(sServed)), f1(stats.Mean(mReplans)))
+	}
+	return t, nil
+}

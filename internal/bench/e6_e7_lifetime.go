@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+
+	"mobicol/internal/baselines"
+	"mobicol/internal/collector"
+	"mobicol/internal/energy"
+	"mobicol/internal/routing"
+	"mobicol/internal/sim"
+	"mobicol/internal/stats"
+	"mobicol/internal/wsn"
+)
+
+// lifetimeModel shrinks batteries so lifetimes land in the hundreds of
+// rounds instead of hundreds of thousands.
+func lifetimeModel() energy.Model {
+	m := energy.DefaultModel()
+	m.InitialJ = 0.05
+	return m
+}
+
+// buildAllSchemes constructs the four schemes for one deployment.
+func buildAllSchemes(nw *wsn.Network) ([]sim.Scheme, error) {
+	sol, err := planSHDG(nw)
+	if err != nil {
+		return nil, err
+	}
+	claPlan, err := baselines.PlanCLA(nw)
+	if err != nil {
+		return nil, err
+	}
+	slPlan, err := baselines.PlanStraightLine(nw, 2)
+	if err != nil {
+		return nil, err
+	}
+	return []sim.Scheme{
+		sim.NewMobile("shdg", nw, sol.Plan),
+		sim.NewCLA(nw, claPlan),
+		sim.NewStraightLine(slPlan),
+		sim.NewStatic(routing.BuildPlan(nw)),
+	}, nil
+}
+
+// E6Lifetime reproduces the network-lifetime comparison: rounds until the
+// first sensor death for the mobile single-hop scheme vs the CLA sweep,
+// the fixed straight-line mule with in-network relay, and the static sink.
+// Expected shape: shdg ≈ cla >> straight-line > static, with the margin
+// over the static sink widening as N grows (the sink-adjacent relays
+// saturate).
+func E6Lifetime(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E6",
+		Title:  "network lifetime in gathering rounds (L=200m, R=30m, 0.05J batteries)",
+		Header: []string{"N", "shdg", "cla", "straight-line", "static-sink", "shdg/static", "residual-std shdg", "residual-std static"},
+		Notes: []string{
+			"lifetime = rounds to first death; residual std measured at each scheme's own death round",
+			fmt.Sprintf("%d trials per point", cfg.trials()),
+		},
+	}
+	ns := []int{100, 200, 300, 400}
+	if cfg.Quick {
+		ns = []int{100, 200}
+	}
+	const horizon = 2_000_000
+	for _, n := range ns {
+		acc := map[string][]float64{}
+		var stdMobile, stdStatic []float64
+		for trial := 0; trial < cfg.trials(); trial++ {
+			seed := cfg.Seed + uint64(trial)*6151 + uint64(n)
+			nw := deploy(n, 200, 30, seed)
+			schemes, err := buildAllSchemes(nw)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range schemes {
+				res, err := sim.RunLifetime(s, nw.N(), lifetimeModel(), horizon)
+				if err != nil {
+					return nil, err
+				}
+				acc[s.Name()] = append(acc[s.Name()], float64(res.Rounds))
+				switch s.Name() {
+				case "shdg":
+					stdMobile = append(stdMobile, res.Residual.Std)
+				case "static-sink":
+					stdStatic = append(stdStatic, res.Residual.Std)
+				}
+			}
+		}
+		shdg := stats.Mean(acc["shdg"])
+		static := stats.Mean(acc["static-sink"])
+		t.AddRow(d(n), f1(shdg), f1(stats.Mean(acc["cla"])), f1(stats.Mean(acc["straight-line"])),
+			f1(static), ratio(shdg, static),
+			fmt.Sprintf("%.4f", stats.Mean(stdMobile)), fmt.Sprintf("%.4f", stats.Mean(stdStatic)))
+	}
+	return t, nil
+}
+
+// E7Latency reproduces the per-round data-collection latency comparison:
+// the price of mobility. The collector drives at 1 m/s; multi-hop relay
+// forwards a packet in 5 ms per hop (the paper cites relay speeds of
+// several hundred m/s — orders of magnitude above vehicle speed).
+func E7Latency(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "E7",
+		Title:  "per-round collection latency in seconds (1 m/s collector, 5 ms/hop relay)",
+		Header: []string{"N", "shdg(s)", "cla(s)", "straight-line(s)", "static-sink(s)", "shdg tour(m)"},
+		Notes:  []string{fmt.Sprintf("%d trials per point", cfg.trials())},
+	}
+	ns := []int{100, 200, 300, 400}
+	if cfg.Quick {
+		ns = []int{100, 200}
+	}
+	spec := collector.DefaultSpec()
+	const relayDelay = 0.005
+	for _, n := range ns {
+		acc := map[string][]float64{}
+		var tours []float64
+		for trial := 0; trial < cfg.trials(); trial++ {
+			seed := cfg.Seed + uint64(trial)*6151 + uint64(n)
+			nw := deploy(n, 200, 30, seed)
+			schemes, err := buildAllSchemes(nw)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range schemes {
+				lat := sim.MeasureLatency(s, spec, relayDelay)
+				acc[s.Name()] = append(acc[s.Name()], lat.Seconds)
+				if s.Name() == "shdg" {
+					tours = append(tours, lat.TourM)
+				}
+			}
+		}
+		t.AddRow(d(n), f1(stats.Mean(acc["shdg"])), f1(stats.Mean(acc["cla"])),
+			f1(stats.Mean(acc["straight-line"])), f2(stats.Mean(acc["static-sink"])), f1(stats.Mean(tours)))
+	}
+	return t, nil
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{
+		ID:     "EX",
+		Title:  "sample",
+		Header: []string{"a", "b"},
+		Notes:  []string{"a note"},
+	}
+	t.AddRow("1", "2.5")
+	t.AddRow("10", "3.5x")
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"EX — sample", "a   b", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || lines[0] != "a,b" || lines[1] != "1,2.5" {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"## EX — sample", "| a | b |", "|---|---|", "| 10 | 3.5x |", "- a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package collector models the M-collector of the paper: a mobile robot or
+// vehicle with a powerful transceiver that departs from the static data
+// sink, pauses at planned stop positions ("polling points") to receive
+// single-hop uploads from nearby sensors, and returns to the sink. The
+// package turns a planned tour into time and energy figures.
+package collector
+
+import (
+	"fmt"
+
+	"mobicol/internal/energy"
+	"mobicol/internal/geom"
+)
+
+// Spec is the kinematic and radio profile of one M-collector. The paper
+// cites practical mobile systems moving at 0.1–2 m/s.
+type Spec struct {
+	Speed      float64 // travel speed in m/s
+	UploadTime float64 // seconds to poll + receive one sensor's packet
+}
+
+// DefaultSpec matches the paper's running example: 1 m/s and a nominal
+// 0.1 s per-packet polling/upload cost.
+func DefaultSpec() Spec { return Spec{Speed: 1, UploadTime: 0.1} }
+
+// TourPlan is an executed-form data-gathering tour: the stop sequence
+// beginning and ending at the sink (the sink itself is not listed), plus
+// the sensor-to-stop upload assignment.
+type TourPlan struct {
+	Sink  geom.Point
+	Stops []geom.Point
+	// UploadAt[sensor] is the index into Stops where that sensor
+	// uploads, or -1 for sensors served by no stop (never the case for
+	// valid single-hop plans; baselines may produce it).
+	UploadAt []int
+}
+
+// Length returns the closed tour length: sink -> stops... -> sink.
+func (tp *TourPlan) Length() float64 {
+	if len(tp.Stops) == 0 {
+		return 0
+	}
+	total := tp.Sink.Dist(tp.Stops[0])
+	for i := 1; i < len(tp.Stops); i++ {
+		total += tp.Stops[i-1].Dist(tp.Stops[i])
+	}
+	return total + tp.Stops[len(tp.Stops)-1].Dist(tp.Sink)
+}
+
+// SensorsAt returns how many sensors upload at each stop.
+func (tp *TourPlan) SensorsAt() []int {
+	counts := make([]int, len(tp.Stops))
+	for _, s := range tp.UploadAt {
+		if s >= 0 {
+			counts[s]++
+		}
+	}
+	return counts
+}
+
+// Served returns the number of sensors with an upload stop.
+func (tp *TourPlan) Served() int {
+	c := 0
+	for _, s := range tp.UploadAt {
+		if s >= 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// Validate checks structural invariants: every assignment points at a real
+// stop, and (when positions are supplied) every sensor is within range of
+// its stop — the single-hop guarantee.
+func (tp *TourPlan) Validate(sensors []geom.Point, maxRange float64) error {
+	if len(tp.UploadAt) != len(sensors) {
+		return fmt.Errorf("collector: %d assignments for %d sensors", len(tp.UploadAt), len(sensors))
+	}
+	for i, s := range tp.UploadAt {
+		if s < -1 || s >= len(tp.Stops) {
+			return fmt.Errorf("collector: sensor %d assigned to stop %d of %d", i, s, len(tp.Stops))
+		}
+		if s >= 0 && maxRange > 0 {
+			if d := sensors[i].Dist(tp.Stops[s]); d > maxRange+geom.Eps {
+				return fmt.Errorf("collector: sensor %d is %.2fm from its stop, range %.2fm", i, d, maxRange)
+			}
+		}
+	}
+	return nil
+}
+
+// RoundTime returns the duration of one full gathering round: drive the
+// tour and pause UploadTime per served sensor. This is the paper's data
+// collection latency for mobile schemes.
+func (tp *TourPlan) RoundTime(spec Spec) float64 {
+	if spec.Speed <= 0 {
+		panic("collector: non-positive speed")
+	}
+	return tp.Length()/spec.Speed + float64(tp.Served())*spec.UploadTime
+}
+
+// ChargeRound debits each sensor's single-hop upload to its stop in the
+// ledger. The collector itself is externally powered (a vehicle), so only
+// sensor-side costs are tracked — exactly the paper's accounting.
+func (tp *TourPlan) ChargeRound(sensors []geom.Point, led *energy.Ledger) {
+	for i, s := range tp.UploadAt {
+		if s >= 0 {
+			led.ChargeTx(i, sensors[i].Dist(tp.Stops[s]))
+		}
+	}
+	led.EndRound()
+}

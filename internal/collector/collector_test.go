@@ -1,0 +1,122 @@
+package collector
+
+import (
+	"math"
+	"testing"
+
+	"mobicol/internal/energy"
+	"mobicol/internal/geom"
+)
+
+func squarePlan() *TourPlan {
+	return &TourPlan{
+		Sink:     geom.Pt(0, 0),
+		Stops:    []geom.Point{geom.Pt(10, 0), geom.Pt(10, 10), geom.Pt(0, 10)},
+		UploadAt: []int{0, 1, 2, 1},
+	}
+}
+
+func TestLength(t *testing.T) {
+	tp := squarePlan()
+	if got := tp.Length(); math.Abs(got-40) > 1e-12 {
+		t.Fatalf("Length = %v, want 40", got)
+	}
+	empty := &TourPlan{Sink: geom.Pt(5, 5)}
+	if empty.Length() != 0 {
+		t.Fatal("empty tour should have zero length")
+	}
+}
+
+func TestSingleStopOutAndBack(t *testing.T) {
+	tp := &TourPlan{Sink: geom.Pt(0, 0), Stops: []geom.Point{geom.Pt(7, 0)}}
+	if got := tp.Length(); math.Abs(got-14) > 1e-12 {
+		t.Fatalf("Length = %v, want 14", got)
+	}
+}
+
+func TestSensorsAtAndServed(t *testing.T) {
+	tp := squarePlan()
+	counts := tp.SensorsAt()
+	want := []int{1, 2, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("SensorsAt = %v", counts)
+		}
+	}
+	if tp.Served() != 4 {
+		t.Fatalf("Served = %d", tp.Served())
+	}
+	tp.UploadAt[0] = -1
+	if tp.Served() != 3 {
+		t.Fatalf("Served after unassign = %d", tp.Served())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	sensors := []geom.Point{geom.Pt(12, 0), geom.Pt(10, 12), geom.Pt(0, 12), geom.Pt(8, 10)}
+	tp := squarePlan()
+	if err := tp.Validate(sensors, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range sensor.
+	far := []geom.Point{geom.Pt(50, 50), sensors[1], sensors[2], sensors[3]}
+	if err := tp.Validate(far, 5); err == nil {
+		t.Fatal("out-of-range assignment accepted")
+	}
+	// Bad stop index.
+	bad := squarePlan()
+	bad.UploadAt[2] = 9
+	if err := bad.Validate(sensors, 5); err == nil {
+		t.Fatal("bad stop index accepted")
+	}
+	// Mismatched lengths.
+	if err := squarePlan().Validate(sensors[:2], 5); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestRoundTime(t *testing.T) {
+	tp := squarePlan()
+	spec := Spec{Speed: 2, UploadTime: 0.5}
+	want := 40.0/2 + 4*0.5
+	if got := tp.RoundTime(spec); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RoundTime = %v, want %v", got, want)
+	}
+}
+
+func TestRoundTimePanicsOnZeroSpeed(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero speed did not panic")
+		}
+	}()
+	squarePlan().RoundTime(Spec{})
+}
+
+func TestChargeRoundDebitsOnlyAssigned(t *testing.T) {
+	sensors := []geom.Point{geom.Pt(12, 0), geom.Pt(10, 12), geom.Pt(0, 12), geom.Pt(8, 10)}
+	tp := squarePlan()
+	tp.UploadAt[3] = -1
+	m := energy.DefaultModel()
+	led := energy.NewLedger(4, m)
+	tp.ChargeRound(sensors, led)
+	if led.Round() != 1 {
+		t.Fatalf("Round = %d", led.Round())
+	}
+	for i := 0; i < 3; i++ {
+		want := m.InitialJ - m.TxCost(sensors[i].Dist(tp.Stops[tp.UploadAt[i]]))
+		if math.Abs(led.Residual[i]-want) > 1e-15 {
+			t.Fatalf("sensor %d residual %v, want %v", i, led.Residual[i], want)
+		}
+	}
+	if led.Residual[3] != m.InitialJ {
+		t.Fatal("unassigned sensor was charged")
+	}
+}
+
+func TestDefaultSpec(t *testing.T) {
+	s := DefaultSpec()
+	if s.Speed != 1 || s.UploadTime <= 0 {
+		t.Fatalf("DefaultSpec = %+v", s)
+	}
+}

@@ -1,0 +1,58 @@
+package collector
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mobicol/internal/geom"
+)
+
+// planFormat is the on-disk JSON schema for a planned tour. Downstream
+// tooling (a real collector's navigation stack, plotting scripts) consumes
+// this; cmd/mdgplan emits it with -json.
+type planFormat struct {
+	Sink     [2]float64   `json:"sink"`
+	Stops    [][2]float64 `json:"stops"`
+	UploadAt []int        `json:"upload_at"`
+	Length   float64      `json:"length_m"`
+}
+
+// WriteJSON encodes the plan to w.
+func (tp *TourPlan) WriteJSON(w io.Writer) error {
+	pf := planFormat{
+		Sink:     [2]float64{tp.Sink.X, tp.Sink.Y},
+		Stops:    make([][2]float64, len(tp.Stops)),
+		UploadAt: tp.UploadAt,
+		Length:   tp.Length(),
+	}
+	for i, s := range tp.Stops {
+		pf.Stops[i] = [2]float64{s.X, s.Y}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(pf)
+}
+
+// ReadPlanJSON decodes a plan previously written by WriteJSON and checks
+// its structural invariants (assignment indices in range).
+func ReadPlanJSON(r io.Reader) (*TourPlan, error) {
+	var pf planFormat
+	if err := json.NewDecoder(r).Decode(&pf); err != nil {
+		return nil, fmt.Errorf("collector: decode plan: %w", err)
+	}
+	tp := &TourPlan{
+		Sink:     geom.Pt(pf.Sink[0], pf.Sink[1]),
+		Stops:    make([]geom.Point, len(pf.Stops)),
+		UploadAt: pf.UploadAt,
+	}
+	for i, s := range pf.Stops {
+		tp.Stops[i] = geom.Pt(s[0], s[1])
+	}
+	for i, s := range tp.UploadAt {
+		if s < -1 || s >= len(tp.Stops) {
+			return nil, fmt.Errorf("collector: plan assigns sensor %d to stop %d of %d", i, s, len(tp.Stops))
+		}
+	}
+	return tp, nil
+}

@@ -1,0 +1,52 @@
+package collector
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mobicol/internal/geom"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	tp := &TourPlan{
+		Sink:     geom.Pt(50, 50),
+		Stops:    []geom.Point{geom.Pt(10, 20), geom.Pt(80, 90), geom.Pt(30, 70)},
+		UploadAt: []int{0, 2, 1, -1, 0},
+	}
+	var buf bytes.Buffer
+	if err := tp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPlanJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Sink.Eq(tp.Sink) || len(got.Stops) != 3 {
+		t.Fatalf("round trip lost structure: %+v", got)
+	}
+	for i := range tp.Stops {
+		if !got.Stops[i].Eq(tp.Stops[i]) {
+			t.Fatalf("stop %d moved", i)
+		}
+	}
+	for i := range tp.UploadAt {
+		if got.UploadAt[i] != tp.UploadAt[i] {
+			t.Fatalf("assignment %d changed", i)
+		}
+	}
+	if math.Abs(got.Length()-tp.Length()) > 1e-9 {
+		t.Fatal("length changed")
+	}
+}
+
+func TestReadPlanJSONRejectsBadAssignment(t *testing.T) {
+	bad := `{"sink":[0,0],"stops":[[1,1]],"upload_at":[5],"length_m":2}`
+	if _, err := ReadPlanJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("out-of-range assignment accepted")
+	}
+	if _, err := ReadPlanJSON(strings.NewReader("nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

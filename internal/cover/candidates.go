@@ -1,0 +1,67 @@
+package cover
+
+import (
+	"fmt"
+
+	"mobicol/internal/geom"
+)
+
+// CandidateStrategy selects how candidate polling-point positions are
+// generated. The E8 ablation compares all of them.
+type CandidateStrategy int
+
+const (
+	// SensorSites uses the sensor positions themselves. A stop at a
+	// sensor always covers at least that sensor, so feasibility is
+	// guaranteed for any deployment.
+	SensorSites CandidateStrategy = iota
+	// FieldGrid uses a uniform lattice over the field, the paper's
+	// evaluation choice ("predefined positions on a grid ... 20 m
+	// apart"). Grid candidates may be infeasible for outlying sensors
+	// when the spacing is too coarse; GenerateCandidates therefore
+	// always unions in the sensor sites as a safety net.
+	FieldGrid
+	// Intersections adds the pairwise intersection points of the
+	// sensors' range circles to the sensor sites. Some optimal disk
+	// cover uses only these positions, so this is the strongest set.
+	Intersections
+)
+
+// String names the strategy.
+func (cs CandidateStrategy) String() string {
+	switch cs {
+	case SensorSites:
+		return "sensor-sites"
+	case FieldGrid:
+		return "field-grid"
+	case Intersections:
+		return "intersections"
+	default:
+		return fmt.Sprintf("CandidateStrategy(%d)", int(cs))
+	}
+}
+
+// GenerateCandidates produces candidate stop positions for covering the
+// given sensors with disks of radius r.
+//   - SensorSites: the sensor positions.
+//   - FieldGrid: lattice points with the given spacing over field, plus
+//     the sensor sites (so every instance stays feasible).
+//   - Intersections: sensor sites plus circle–circle intersection points.
+//
+// gridSpacing is only used by FieldGrid; pass 0 elsewhere.
+func GenerateCandidates(sensors []geom.Point, field geom.Rect, r float64, strategy CandidateStrategy, gridSpacing float64) []geom.Point {
+	switch strategy {
+	case SensorSites:
+		return append([]geom.Point(nil), sensors...)
+	case FieldGrid:
+		if gridSpacing <= 0 {
+			gridSpacing = 20 // the paper's evaluation default, in metres
+		}
+		pts := field.GridPoints(gridSpacing)
+		return append(pts, sensors...)
+	case Intersections:
+		return geom.CoverPointCandidates(sensors, r)
+	default:
+		panic(fmt.Sprintf("cover: unknown candidate strategy %v", strategy))
+	}
+}

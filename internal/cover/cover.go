@@ -1,0 +1,216 @@
+// Package cover solves the geometric covering half of the single-hop data
+// gathering problem: choose stop positions ("polling points") so that
+// every sensor lies within transmission range of at least one stop.
+//
+// The package generates candidate stop positions (sensor sites, a uniform
+// grid over the field as in the paper's evaluation, and circle–circle
+// intersection points), and selects covers with either the classic greedy
+// max-coverage heuristic (ln n approximation) or an exact branch-and-bound
+// enumeration for small instances.
+package cover
+
+import (
+	"fmt"
+
+	"mobicol/internal/bitset"
+	"mobicol/internal/geom"
+)
+
+// Instance is a set-cover instance: Covers[c] is the set of sensor indices
+// within range of candidate c. Universe is the number of sensors.
+type Instance struct {
+	Universe   int
+	Candidates []geom.Point
+	Covers     []*bitset.Set
+}
+
+// NewInstance builds the covering instance for the given sensors,
+// candidate positions, and transmission range. Candidates that cover no
+// sensor are dropped (a stop there could never be useful).
+func NewInstance(sensors []geom.Point, candidates []geom.Point, r float64) *Instance {
+	radii := make([]float64, len(sensors))
+	for i := range radii {
+		radii[i] = r
+	}
+	return NewInstanceRadii(sensors, radii, candidates)
+}
+
+// NewInstanceRadii builds a covering instance with per-sensor
+// transmission ranges: candidate c covers sensor s when their distance is
+// at most radii[s]. Heterogeneous ranges model mixed hardware or depleted
+// amplifiers; the uniform-range instance is the special case of equal
+// radii.
+func NewInstanceRadii(sensors []geom.Point, radii []float64, candidates []geom.Point) *Instance {
+	if len(radii) != len(sensors) {
+		panic("cover: radii/sensor count mismatch")
+	}
+	maxR := 0.0
+	for _, r := range radii {
+		if r <= 0 {
+			panic("cover: non-positive sensor radius")
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	inst := &Instance{Universe: len(sensors)}
+	if len(sensors) == 0 {
+		return inst
+	}
+	idx := geom.NewGridIndex(sensors, maxR)
+	buf := make([]int, 0, 64)
+	for _, c := range candidates {
+		buf = idx.Within(c, maxR, buf[:0])
+		var set *bitset.Set
+		for _, s := range buf {
+			if sensors[s].Dist2(c) <= radii[s]*radii[s]+geom.Eps {
+				if set == nil {
+					set = bitset.New(len(sensors))
+				}
+				set.Add(s)
+			}
+		}
+		if set == nil {
+			continue
+		}
+		inst.Candidates = append(inst.Candidates, c)
+		inst.Covers = append(inst.Covers, set)
+	}
+	return inst
+}
+
+// Feasible reports whether the union of all candidate covers is the whole
+// universe. When false, some sensor is unreachable from every candidate
+// and no cover exists (Err describes the first such sensor).
+func (in *Instance) Feasible() bool { return in.uncoverable() < 0 }
+
+func (in *Instance) uncoverable() int {
+	all := bitset.New(in.Universe)
+	for _, c := range in.Covers {
+		all.Or(c)
+	}
+	if all.Count() == in.Universe {
+		return -1
+	}
+	missing := all.Clone()
+	full := bitset.New(in.Universe)
+	full.Fill()
+	full.AndNot(missing)
+	return full.NextSet(0)
+}
+
+// Err returns nil for feasible instances and a descriptive error otherwise.
+func (in *Instance) Err() error {
+	if s := in.uncoverable(); s >= 0 {
+		return fmt.Errorf("cover: sensor %d is outside the range of every candidate", s)
+	}
+	return nil
+}
+
+// Greedy selects candidates by repeatedly taking the one covering the most
+// still-uncovered sensors, breaking ties toward the candidate closest to
+// tieBreak (the planners pass the sink so that stops gravitate inward,
+// which shortens the eventual tour). It returns the chosen candidate
+// indices in selection order. Greedy is the classic (1 + ln n)
+// approximation for set cover.
+func (in *Instance) Greedy(tieBreak geom.Point) ([]int, error) {
+	if err := in.Err(); err != nil {
+		return nil, err
+	}
+	uncovered := bitset.New(in.Universe)
+	uncovered.Fill()
+	var chosen []int
+	for uncovered.Count() > 0 {
+		best, bestGain := -1, 0
+		var bestDist float64
+		for c, set := range in.Covers {
+			gain := set.CountAnd(uncovered)
+			if gain == 0 {
+				continue
+			}
+			d := in.Candidates[c].Dist2(tieBreak)
+			if gain > bestGain || (gain == bestGain && d < bestDist) {
+				best, bestGain, bestDist = c, gain, d
+			}
+		}
+		if best < 0 {
+			// Unreachable given the feasibility pre-check, but guard anyway.
+			return nil, fmt.Errorf("cover: greedy stalled with %d sensors uncovered", uncovered.Count())
+		}
+		chosen = append(chosen, best)
+		uncovered.AndNot(in.Covers[best])
+	}
+	return chosen, nil
+}
+
+// Covered returns the union of the covers of the chosen candidates.
+func (in *Instance) Covered(chosen []int) *bitset.Set {
+	u := bitset.New(in.Universe)
+	for _, c := range chosen {
+		u.Or(in.Covers[c])
+	}
+	return u
+}
+
+// IsCover reports whether the chosen candidates cover every sensor.
+func (in *Instance) IsCover(chosen []int) bool {
+	return in.Covered(chosen).Count() == in.Universe
+}
+
+// Assign maps every sensor to its nearest chosen candidate, returning
+// assignment[sensor] = position in chosen. Sensors covered by no chosen
+// candidate get -1. The planners use this to decide which stop each sensor
+// uploads at.
+func (in *Instance) Assign(sensors []geom.Point, chosen []int) []int {
+	assignment := make([]int, len(sensors))
+	for i := range assignment {
+		assignment[i] = -1
+	}
+	for pos, c := range chosen {
+		set := in.Covers[c]
+		set.ForEach(func(s int) {
+			cur := assignment[s]
+			if cur < 0 || sensors[s].Dist2(in.Candidates[chosen[pos]]) < sensors[s].Dist2(in.Candidates[chosen[cur]]) {
+				assignment[s] = pos
+			}
+		})
+	}
+	return assignment
+}
+
+// Prune removes dominated candidates: candidate a is dominated when some
+// candidate b covers a strict superset of a's sensors (or the same set with
+// a lower index). Pruning shrinks exact-search instances dramatically on
+// dense fields. It returns a new Instance plus a map from new candidate
+// index to original index.
+func (in *Instance) Prune() (*Instance, []int) {
+	n := len(in.Covers)
+	dominated := make([]bool, n)
+	for a := 0; a < n; a++ {
+		if dominated[a] {
+			continue
+		}
+		for b := 0; b < n; b++ {
+			if a == b || dominated[b] {
+				continue
+			}
+			if in.Covers[a].SubsetOf(in.Covers[b]) {
+				if in.Covers[a].Equal(in.Covers[b]) && a < b {
+					continue // keep the earlier of two equals
+				}
+				dominated[a] = true
+				break
+			}
+		}
+	}
+	out := &Instance{Universe: in.Universe}
+	var orig []int
+	for c := 0; c < n; c++ {
+		if !dominated[c] {
+			out.Candidates = append(out.Candidates, in.Candidates[c])
+			out.Covers = append(out.Covers, in.Covers[c])
+			orig = append(orig, c)
+		}
+	}
+	return out, orig
+}

@@ -1,0 +1,285 @@
+package cover
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobicol/internal/geom"
+	"mobicol/internal/rng"
+)
+
+func randSensors(s *rng.Source, n int, l float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(s.Uniform(0, l), s.Uniform(0, l))
+	}
+	return pts
+}
+
+func TestNewInstanceDropsUselessCandidates(t *testing.T) {
+	sensors := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 10)}
+	cands := []geom.Point{geom.Pt(0, 0), geom.Pt(500, 500)}
+	in := NewInstance(sensors, cands, 5)
+	if len(in.Candidates) != 1 {
+		t.Fatalf("kept %d candidates, want 1", len(in.Candidates))
+	}
+}
+
+func TestFeasibility(t *testing.T) {
+	sensors := []geom.Point{geom.Pt(0, 0), geom.Pt(100, 100)}
+	in := NewInstance(sensors, []geom.Point{geom.Pt(0, 0)}, 5)
+	if in.Feasible() {
+		t.Fatal("infeasible instance reported feasible")
+	}
+	if in.Err() == nil {
+		t.Fatal("Err nil on infeasible instance")
+	}
+	in2 := NewInstance(sensors, sensors, 5)
+	if !in2.Feasible() || in2.Err() != nil {
+		t.Fatal("feasible instance rejected")
+	}
+}
+
+func TestGreedyCoversEverything(t *testing.T) {
+	s := rng.New(70)
+	for trial := 0; trial < 20; trial++ {
+		sensors := randSensors(s, 30+s.Intn(100), 200)
+		in := NewInstance(sensors, sensors, 30)
+		chosen, err := in.Greedy(geom.Pt(100, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !in.IsCover(chosen) {
+			t.Fatal("greedy result is not a cover")
+		}
+		// No chosen candidate should be fully redundant at selection time:
+		// picking it must have covered at least one new sensor, so the
+		// cover has at most Universe stops.
+		if len(chosen) > in.Universe {
+			t.Fatalf("greedy chose %d stops for %d sensors", len(chosen), in.Universe)
+		}
+	}
+}
+
+func TestGreedySingleStopWhenOneCandidateCoversAll(t *testing.T) {
+	sensors := []geom.Point{geom.Pt(1, 0), geom.Pt(0, 1), geom.Pt(-1, 0)}
+	cands := append([]geom.Point{geom.Pt(0, 0)}, sensors...)
+	in := NewInstance(sensors, cands, 2)
+	chosen, err := in.Greedy(geom.Pt(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) != 1 || !in.Candidates[chosen[0]].Eq(geom.Pt(0, 0)) {
+		t.Fatalf("chosen = %v", chosen)
+	}
+}
+
+func TestGreedyTieBreakTowardSink(t *testing.T) {
+	// Two candidates each covering exactly one (different) sensor would
+	// both be chosen; but when two candidates cover the SAME single
+	// sensor, the one nearer the sink must win.
+	sensors := []geom.Point{geom.Pt(50, 50)}
+	cands := []geom.Point{geom.Pt(50, 58), geom.Pt(50, 44)} // both within r=10
+	in := NewInstance(sensors, cands, 10)
+	chosen, err := in.Greedy(geom.Pt(50, 40)) // sink south: candidate 1 closer
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen) != 1 || chosen[0] != 1 {
+		t.Fatalf("tie break failed: chosen = %v", chosen)
+	}
+}
+
+func TestAssignNearestStop(t *testing.T) {
+	sensors := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(4, 0)}
+	cands := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)}
+	in := NewInstance(sensors, cands, 6)
+	chosen := []int{0, 1}
+	a := in.Assign(sensors, chosen)
+	if a[0] != 0 || a[1] != 1 || a[2] != 0 {
+		t.Fatalf("Assign = %v", a)
+	}
+}
+
+func TestAssignUncoveredIsMinusOne(t *testing.T) {
+	sensors := []geom.Point{geom.Pt(0, 0), geom.Pt(100, 0)}
+	in := NewInstance(sensors, sensors, 5)
+	a := in.Assign(sensors, []int{0})
+	if a[0] != 0 || a[1] != -1 {
+		t.Fatalf("Assign = %v", a)
+	}
+}
+
+func TestPruneRemovesDominated(t *testing.T) {
+	// Candidate at centre covers both sensors; each sensor site covers
+	// only itself -> both sites dominated.
+	sensors := []geom.Point{geom.Pt(0, 0), geom.Pt(8, 0)}
+	cands := []geom.Point{geom.Pt(0, 0), geom.Pt(8, 0), geom.Pt(4, 0)}
+	in := NewInstance(sensors, cands, 5)
+	pruned, orig := in.Prune()
+	if len(pruned.Covers) != 1 {
+		t.Fatalf("pruned to %d candidates, want 1", len(pruned.Covers))
+	}
+	if !in.Candidates[orig[0]].Eq(geom.Pt(4, 0)) {
+		t.Fatalf("kept wrong candidate %v", in.Candidates[orig[0]])
+	}
+}
+
+func TestPruneKeepsOneOfEquals(t *testing.T) {
+	sensors := []geom.Point{geom.Pt(0, 0)}
+	cands := []geom.Point{geom.Pt(1, 0), geom.Pt(-1, 0)}
+	in := NewInstance(sensors, cands, 5)
+	pruned, _ := in.Prune()
+	if len(pruned.Covers) != 1 {
+		t.Fatalf("equal covers pruned to %d, want 1", len(pruned.Covers))
+	}
+}
+
+func TestExactMinOptimality(t *testing.T) {
+	// Three sensor clusters; one candidate per cluster centre covers the
+	// whole cluster, so the optimum is 3 while per-sensor covers need 6.
+	sensors := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(4, 0),
+		geom.Pt(100, 0), geom.Pt(104, 0),
+		geom.Pt(0, 100), geom.Pt(4, 100),
+	}
+	cands := append([]geom.Point{geom.Pt(2, 0), geom.Pt(102, 0), geom.Pt(2, 100)}, sensors...)
+	in := NewInstance(sensors, cands, 3)
+	chosen, exact, err := in.ExactMin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact {
+		t.Fatal("tiny instance not solved exactly")
+	}
+	if len(chosen) != 3 {
+		t.Fatalf("exact cover size %d, want 3", len(chosen))
+	}
+	if !in.IsCover(chosen) {
+		t.Fatal("exact result is not a cover")
+	}
+}
+
+func TestExactNeverWorseThanGreedy(t *testing.T) {
+	s := rng.New(71)
+	for trial := 0; trial < 15; trial++ {
+		sensors := randSensors(s, 10+s.Intn(20), 120)
+		cands := GenerateCandidates(sensors, geom.Square(120), 30, Intersections, 0)
+		in := NewInstance(sensors, cands, 30)
+		greedy, err := in.Greedy(geom.Pt(60, 60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactSet, exact, err := in.ExactMin(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exact {
+			t.Fatal("small instance not solved exactly")
+		}
+		if len(exactSet) > len(greedy) {
+			t.Fatalf("exact (%d) worse than greedy (%d)", len(exactSet), len(greedy))
+		}
+		if !in.IsCover(exactSet) {
+			t.Fatal("exact result is not a cover")
+		}
+	}
+}
+
+func TestExactMinNodeCap(t *testing.T) {
+	s := rng.New(72)
+	sensors := randSensors(s, 60, 200)
+	in := NewInstance(sensors, sensors, 25)
+	chosen, _, err := in.ExactMin(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsCover(chosen) {
+		t.Fatal("capped search returned a non-cover")
+	}
+}
+
+func TestExactMinInfeasible(t *testing.T) {
+	sensors := []geom.Point{geom.Pt(0, 0), geom.Pt(500, 500)}
+	in := NewInstance(sensors, []geom.Point{geom.Pt(0, 0)}, 5)
+	if _, _, err := in.ExactMin(0); err == nil {
+		t.Fatal("infeasible instance did not error")
+	}
+}
+
+func TestGenerateCandidatesStrategies(t *testing.T) {
+	s := rng.New(73)
+	sensors := randSensors(s, 40, 100)
+	field := geom.Square(100)
+	sites := GenerateCandidates(sensors, field, 20, SensorSites, 0)
+	if len(sites) != 40 {
+		t.Fatalf("SensorSites produced %d", len(sites))
+	}
+	grid := GenerateCandidates(sensors, field, 20, FieldGrid, 20)
+	if len(grid) != 36+40 { // 6x6 lattice + sensor sites
+		t.Fatalf("FieldGrid produced %d", len(grid))
+	}
+	inter := GenerateCandidates(sensors, field, 20, Intersections, 0)
+	if len(inter) < 40 {
+		t.Fatalf("Intersections produced %d", len(inter))
+	}
+	// All strategies must yield feasible instances (sensor sites are
+	// always included or are the base set).
+	for _, cands := range [][]geom.Point{sites, grid, inter} {
+		if !NewInstance(sensors, cands, 20).Feasible() {
+			t.Fatal("candidate strategy produced infeasible instance")
+		}
+	}
+}
+
+// Property: greedy always returns a valid cover whose every stop covers at
+// least one sensor assigned to it by Assign.
+func TestQuickGreedyCoverValid(t *testing.T) {
+	s := rng.New(74)
+	f := func() bool {
+		sensors := randSensors(s, 5+s.Intn(60), 150)
+		in := NewInstance(sensors, sensors, 25)
+		chosen, err := in.Greedy(geom.Pt(75, 75))
+		if err != nil {
+			return false
+		}
+		if !in.IsCover(chosen) {
+			return false
+		}
+		a := in.Assign(sensors, chosen)
+		for i, pos := range a {
+			if pos < 0 {
+				return false
+			}
+			if sensors[i].Dist(in.Candidates[chosen[pos]]) > 25+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func(uint8) bool { return f() }, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGreedy300(b *testing.B) {
+	sensors := randSensors(rng.New(1), 300, 300)
+	in := NewInstance(sensors, sensors, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Greedy(geom.Pt(150, 150)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactMin20(b *testing.B) {
+	sensors := randSensors(rng.New(2), 20, 100)
+	in := NewInstance(sensors, sensors, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := in.ExactMin(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

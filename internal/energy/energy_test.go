@@ -1,0 +1,144 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTxCostMonotoneInDistance(t *testing.T) {
+	m := DefaultModel()
+	prev := m.TxCost(0)
+	for d := 5.0; d <= 100; d += 5 {
+		cur := m.TxCost(d)
+		if cur <= prev {
+			t.Fatalf("TxCost not increasing at d=%v", d)
+		}
+		prev = cur
+	}
+}
+
+func TestTxCostZeroDistanceEqualsElectronics(t *testing.T) {
+	m := DefaultModel()
+	if got, want := m.TxCost(0), m.PacketBits*m.Elec; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("TxCost(0) = %v, want %v", got, want)
+	}
+}
+
+func TestRxCost(t *testing.T) {
+	m := DefaultModel()
+	if got, want := m.RxCost(), 4000*50e-9; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("RxCost = %v, want %v", got, want)
+	}
+}
+
+func TestTxCostNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative distance did not panic")
+		}
+	}()
+	DefaultModel().TxCost(-1)
+}
+
+func TestPathLossExponent(t *testing.T) {
+	m := DefaultModel()
+	m.PathLossExp = 4
+	// Quadrupling cost ratio: (2d)^4 / d^4 = 16 on the amplifier term.
+	amp1 := m.TxCost(10) - m.TxCost(0)
+	amp2 := m.TxCost(20) - m.TxCost(0)
+	if math.Abs(amp2/amp1-16) > 1e-9 {
+		t.Fatalf("exponent-4 amplifier ratio = %v, want 16", amp2/amp1)
+	}
+}
+
+func TestLedgerLifecycle(t *testing.T) {
+	m := DefaultModel()
+	m.InitialJ = 3 * m.TxCost(10) // exactly three transmissions at 10 m
+	l := NewLedger(2, m)
+	if l.FirstDeath() != -1 || l.AliveCount() != 2 {
+		t.Fatal("fresh ledger state wrong")
+	}
+	for round := 0; round < 3; round++ {
+		l.ChargeTx(0, 10)
+		l.EndRound()
+	}
+	if l.Alive(0) {
+		t.Fatal("node 0 should be dead after three full-cost transmissions")
+	}
+	if !l.Alive(1) {
+		t.Fatal("idle node died")
+	}
+	if l.FirstDeath() != 2 {
+		t.Fatalf("FirstDeath = %d, want 2", l.FirstDeath())
+	}
+	if l.AliveCount() != 1 {
+		t.Fatalf("AliveCount = %d", l.AliveCount())
+	}
+}
+
+func TestDeadNodesSpendNothing(t *testing.T) {
+	m := DefaultModel()
+	m.InitialJ = m.TxCost(10) / 2
+	l := NewLedger(1, m)
+	l.ChargeTx(0, 10)
+	if l.Alive(0) {
+		t.Fatal("node should be dead")
+	}
+	r := l.Residual[0]
+	l.ChargeTx(0, 10)
+	l.ChargeRx(0)
+	if l.Residual[0] != r {
+		t.Fatal("dead node kept spending")
+	}
+}
+
+func TestResidualStatsUniformVsSkewed(t *testing.T) {
+	m := DefaultModel()
+	uniform := NewLedger(10, m)
+	skewed := NewLedger(10, m)
+	for i := 0; i < 10; i++ {
+		uniform.ChargeTx(i, 20)
+	}
+	for r := 0; r < 10; r++ {
+		skewed.ChargeTx(0, 20) // all load on node 0
+	}
+	us, ss := uniform.ResidualStats(), skewed.ResidualStats()
+	if us.Std > 1e-12 {
+		t.Fatalf("uniform load Std = %v, want 0", us.Std)
+	}
+	if ss.Std <= us.Std {
+		t.Fatal("skewed load should have larger Std")
+	}
+	if math.Abs(us.Mean-(m.InitialJ-m.TxCost(20))) > 1e-12 {
+		t.Fatalf("uniform Mean = %v", us.Mean)
+	}
+}
+
+func TestResidualStatsEmpty(t *testing.T) {
+	l := NewLedger(0, DefaultModel())
+	if st := l.ResidualStats(); st != (Stats{}) {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+// Property: residual energy never goes negative and never increases.
+func TestQuickResidualMonotone(t *testing.T) {
+	f := func(dists []uint8) bool {
+		m := DefaultModel()
+		m.InitialJ = 0.001
+		l := NewLedger(1, m)
+		prev := l.Residual[0]
+		for _, d := range dists {
+			l.ChargeTx(0, float64(d))
+			if l.Residual[0] > prev || l.Residual[0] < 0 {
+				return false
+			}
+			prev = l.Residual[0]
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

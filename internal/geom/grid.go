@@ -1,0 +1,140 @@
+package geom
+
+import "math"
+
+// GridIndex is a uniform spatial hash over points that answers
+// fixed-radius range queries in expected O(1 + output) time. It is the
+// workhorse behind unit-disk-graph construction: building the neighbour
+// lists of an N-sensor field costs O(N) with a cell size equal to the
+// transmission range, versus O(N²) for the naive double loop.
+type GridIndex struct {
+	cell   float64
+	pts    []Point
+	minX   float64
+	minY   float64
+	cols   int
+	rows   int
+	bucket map[int][]int32
+}
+
+// NewGridIndex indexes pts with the given cell size (> 0). The index keeps
+// a reference to pts; callers must not mutate the slice afterwards.
+func NewGridIndex(pts []Point, cell float64) *GridIndex {
+	if cell <= 0 {
+		panic("geom: NewGridIndex with non-positive cell size")
+	}
+	g := &GridIndex{cell: cell, pts: pts, bucket: make(map[int][]int32, len(pts))}
+	if len(pts) == 0 {
+		g.cols, g.rows = 1, 1
+		return g
+	}
+	b := Bound(pts)
+	g.minX, g.minY = b.Min.X, b.Min.Y
+	g.cols = int(math.Floor((b.Max.X-b.Min.X)/cell)) + 1
+	g.rows = int(math.Floor((b.Max.Y-b.Min.Y)/cell)) + 1
+	for i, p := range pts {
+		k := g.key(p)
+		g.bucket[k] = append(g.bucket[k], int32(i))
+	}
+	return g
+}
+
+func (g *GridIndex) cellOf(p Point) (cx, cy int) {
+	cx = int(math.Floor((p.X - g.minX) / g.cell))
+	cy = int(math.Floor((p.Y - g.minY) / g.cell))
+	return cx, cy
+}
+
+func (g *GridIndex) key(p Point) int {
+	cx, cy := g.cellOf(p)
+	return cy*g.cols + cx
+}
+
+// Within appends to dst the indices of all indexed points within distance r
+// of q (inclusive) and returns the extended slice. Pass a reused buffer to
+// avoid allocation in hot loops.
+func (g *GridIndex) Within(q Point, r float64, dst []int) []int {
+	if len(g.pts) == 0 {
+		return dst
+	}
+	r2 := r * r
+	span := int(math.Ceil(r/g.cell)) + 1
+	cx, cy := g.cellOf(q)
+	for dy := -span; dy <= span; dy++ {
+		y := cy + dy
+		if y < 0 || y >= g.rows {
+			continue
+		}
+		for dx := -span; dx <= span; dx++ {
+			x := cx + dx
+			if x < 0 || x >= g.cols {
+				continue
+			}
+			for _, i := range g.bucket[y*g.cols+x] {
+				if g.pts[i].Dist2(q) <= r2+Eps {
+					dst = append(dst, int(i))
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Nearest returns the index of the indexed point closest to q, or -1 for an
+// empty index. Ties break toward the lower index.
+func (g *GridIndex) Nearest(q Point) int {
+	if len(g.pts) == 0 {
+		return -1
+	}
+	// Expand ring by ring until a hit is found, then one more ring to be
+	// safe (a closer point can live in the next ring than the first hit's).
+	best, bestD2 := -1, math.Inf(1)
+	cx, cy := g.cellOf(q)
+	// The search must be able to reach every cell even when q lies far
+	// outside the indexed bounding box.
+	maxSpan := max(max(abs(cx), abs(g.cols-1-cx)), max(abs(cy), abs(g.rows-1-cy)))
+	for span := 0; span <= maxSpan; span++ {
+		found := false
+		for dy := -span; dy <= span; dy++ {
+			y := cy + dy
+			if y < 0 || y >= g.rows {
+				continue
+			}
+			for dx := -span; dx <= span; dx++ {
+				if abs(dx) != span && abs(dy) != span {
+					continue // interior already scanned in earlier rings
+				}
+				x := cx + dx
+				if x < 0 || x >= g.cols {
+					continue
+				}
+				for _, i := range g.bucket[y*g.cols+x] {
+					d2 := g.pts[i].Dist2(q)
+					if d2 < bestD2 || (d2 == bestD2 && int(i) < best) {
+						best, bestD2 = int(i), d2
+						found = true
+					}
+				}
+			}
+		}
+		// Once a candidate exists and the ring is farther than the best
+		// distance, no closer point can appear.
+		if best >= 0 && !found {
+			ringDist := float64(span-1) * g.cell
+			if ringDist*ringDist > bestD2 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// Len returns the number of indexed points.
+func (g *GridIndex) Len() int { return len(g.pts) }
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

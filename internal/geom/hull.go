@@ -1,0 +1,90 @@
+package geom
+
+import "sort"
+
+// ConvexHull returns the convex hull of pts in counter-clockwise order
+// using Andrew's monotone chain. Collinear boundary points are dropped.
+// Degenerate inputs (fewer than three distinct points, or all collinear)
+// return the distinct extreme points in order.
+func ConvexHull(pts []Point) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	sorted := append([]Point(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	// Deduplicate.
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		if !p.Eq(uniq[len(uniq)-1]) {
+			uniq = append(uniq, p)
+		}
+	}
+	n := len(uniq)
+	if n < 3 {
+		return append([]Point(nil), uniq...)
+	}
+	hull := make([]Point, 0, 2*n)
+	// Lower chain.
+	for _, p := range uniq {
+		for len(hull) >= 2 && Orientation(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper chain.
+	lower := len(hull) + 1
+	for i := n - 2; i >= 0; i-- {
+		p := uniq[i]
+		for len(hull) >= lower && Orientation(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1] // last point repeats the first
+}
+
+// PolygonPerimeter returns the perimeter of the closed polygon poly.
+func PolygonPerimeter(poly []Point) float64 { return ClosedPathLength(poly) }
+
+// PolygonArea returns the (positive) area of the simple polygon poly via
+// the shoelace formula.
+func PolygonArea(poly []Point) float64 {
+	if len(poly) < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i := range poly {
+		j := (i + 1) % len(poly)
+		sum += poly[i].Cross(poly[j])
+	}
+	if sum < 0 {
+		sum = -sum
+	}
+	return sum / 2
+}
+
+// InConvexPolygon reports whether p lies inside or on the convex polygon
+// poly given in counter-clockwise order.
+func InConvexPolygon(poly []Point, p Point) bool {
+	if len(poly) == 0 {
+		return false
+	}
+	if len(poly) == 1 {
+		return poly[0].Eq(p)
+	}
+	if len(poly) == 2 {
+		return Seg(poly[0], poly[1]).Dist(p) <= Eps
+	}
+	for i := range poly {
+		j := (i + 1) % len(poly)
+		if Orientation(poly[i], poly[j], p) < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,195 @@
+package geom
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"mobicol/internal/rng"
+)
+
+func randPoints(s *rng.Source, n int, l float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Pt(s.Uniform(0, l), s.Uniform(0, l))
+	}
+	return pts
+}
+
+// bruteWithin is the reference implementation for range queries.
+func bruteWithin(pts []Point, q Point, r float64) []int {
+	var out []int
+	for i, p := range pts {
+		if p.Dist2(q) <= r*r+Eps {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func bruteNearest(pts []Point, q Point) int {
+	best, bestD2 := -1, math.Inf(1)
+	for i, p := range pts {
+		if d2 := p.Dist2(q); d2 < bestD2 {
+			best, bestD2 = i, d2
+		}
+	}
+	return best
+}
+
+func sameIndexSet(t *testing.T, got, want []int, what string) {
+	t.Helper()
+	sort.Ints(got)
+	sort.Ints(want)
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d hits, want %d (%v vs %v)", what, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: mismatch at %d: %v vs %v", what, i, got, want)
+		}
+	}
+}
+
+func TestGridIndexWithinMatchesBrute(t *testing.T) {
+	s := rng.New(10)
+	pts := randPoints(s, 300, 200)
+	g := NewGridIndex(pts, 30)
+	for trial := 0; trial < 50; trial++ {
+		q := Pt(s.Uniform(-20, 220), s.Uniform(-20, 220))
+		r := s.Uniform(5, 60)
+		got := g.Within(q, r, nil)
+		sameIndexSet(t, got, bruteWithin(pts, q, r), "GridIndex.Within")
+	}
+}
+
+func TestGridIndexNearestMatchesBrute(t *testing.T) {
+	s := rng.New(11)
+	pts := randPoints(s, 200, 150)
+	g := NewGridIndex(pts, 25)
+	for trial := 0; trial < 100; trial++ {
+		q := Pt(s.Uniform(-30, 180), s.Uniform(-30, 180))
+		got := g.Nearest(q)
+		want := bruteNearest(pts, q)
+		if pts[got].Dist(q) > pts[want].Dist(q)+1e-9 {
+			t.Fatalf("Nearest returned %d (d=%v), brute %d (d=%v)",
+				got, pts[got].Dist(q), want, pts[want].Dist(q))
+		}
+	}
+}
+
+func TestGridIndexEmpty(t *testing.T) {
+	g := NewGridIndex(nil, 10)
+	if g.Nearest(Pt(0, 0)) != -1 {
+		t.Fatal("Nearest on empty index should be -1")
+	}
+	if got := g.Within(Pt(0, 0), 5, nil); len(got) != 0 {
+		t.Fatal("Within on empty index should be empty")
+	}
+}
+
+func TestGridIndexSinglePoint(t *testing.T) {
+	g := NewGridIndex([]Point{Pt(7, 7)}, 10)
+	if g.Nearest(Pt(100, 100)) != 0 {
+		t.Fatal("Nearest should find the only point")
+	}
+	if got := g.Within(Pt(7, 8), 2, nil); len(got) != 1 {
+		t.Fatal("Within should find the only point")
+	}
+}
+
+func TestGridIndexReusesBuffer(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(1, 0), Pt(2, 0)}
+	g := NewGridIndex(pts, 1)
+	buf := make([]int, 0, 8)
+	got := g.Within(Pt(0, 0), 1.5, buf)
+	if len(got) != 2 {
+		t.Fatalf("Within = %v", got)
+	}
+}
+
+func TestKDTreeNearestMatchesBrute(t *testing.T) {
+	s := rng.New(12)
+	pts := randPoints(s, 400, 300)
+	kt := NewKDTree(pts)
+	for trial := 0; trial < 200; trial++ {
+		q := Pt(s.Uniform(-50, 350), s.Uniform(-50, 350))
+		got, gd := kt.Nearest(q, nil)
+		want := bruteNearest(pts, q)
+		if math.Abs(gd-pts[want].Dist(q)) > 1e-9 {
+			t.Fatalf("KDTree.Nearest dist %v, brute %v (idx %d vs %d)", gd, pts[want].Dist(q), got, want)
+		}
+	}
+}
+
+func TestKDTreeNearestWithSkip(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(1, 0), Pt(5, 0)}
+	kt := NewKDTree(pts)
+	got, _ := kt.Nearest(Pt(0.1, 0), func(i int) bool { return i == 0 })
+	if got != 1 {
+		t.Fatalf("skip: got %d, want 1", got)
+	}
+	got, d := kt.Nearest(Pt(0, 0), func(i int) bool { return true })
+	if got != -1 || !math.IsInf(d, 1) {
+		t.Fatal("all-skipped query should return -1, +Inf")
+	}
+}
+
+func TestKDTreeWithinMatchesBrute(t *testing.T) {
+	s := rng.New(13)
+	pts := randPoints(s, 300, 200)
+	kt := NewKDTree(pts)
+	for trial := 0; trial < 50; trial++ {
+		q := Pt(s.Uniform(0, 200), s.Uniform(0, 200))
+		r := s.Uniform(5, 80)
+		got := kt.Within(q, r, nil)
+		sameIndexSet(t, got, bruteWithin(pts, q, r), "KDTree.Within")
+	}
+}
+
+func TestKDTreeEmpty(t *testing.T) {
+	kt := NewKDTree(nil)
+	if i, d := kt.Nearest(Pt(0, 0), nil); i != -1 || !math.IsInf(d, 1) {
+		t.Fatal("empty KDTree Nearest should be (-1, +Inf)")
+	}
+	if got := kt.Within(Pt(0, 0), 10, nil); len(got) != 0 {
+		t.Fatal("empty KDTree Within should be empty")
+	}
+}
+
+func TestKDTreeDuplicatePoints(t *testing.T) {
+	pts := []Point{Pt(1, 1), Pt(1, 1), Pt(1, 1), Pt(2, 2)}
+	kt := NewKDTree(pts)
+	got := kt.Within(Pt(1, 1), 0.5, nil)
+	if len(got) != 3 {
+		t.Fatalf("duplicates: got %v", got)
+	}
+}
+
+func BenchmarkGridIndexBuild(b *testing.B) {
+	pts := randPoints(rng.New(1), 1000, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewGridIndex(pts, 30)
+	}
+}
+
+func BenchmarkGridIndexWithin(b *testing.B) {
+	pts := randPoints(rng.New(1), 1000, 500)
+	g := NewGridIndex(pts, 30)
+	buf := make([]int, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Within(pts[i%len(pts)], 30, buf[:0])
+	}
+}
+
+func BenchmarkKDTreeNearest(b *testing.B) {
+	pts := randPoints(rng.New(1), 1000, 500)
+	kt := NewKDTree(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kt.Nearest(pts[i%len(pts)], nil)
+	}
+}

@@ -1,0 +1,77 @@
+package graph
+
+// BFSResult holds hop counts and parent pointers from a breadth-first
+// search. Unreached vertices have Dist -1 and Parent -1.
+type BFSResult struct {
+	Dist   []int // hop count from the nearest source
+	Parent []int // predecessor on a shortest hop path, -1 at sources
+}
+
+// BFS runs breadth-first search from a single source.
+func BFS(g *Graph, src int) *BFSResult { return MultiBFS(g, []int{src}) }
+
+// MultiBFS runs breadth-first search from several sources at once: Dist is
+// the hop count to the nearest source. The routing layer uses this with all
+// "track-adjacent" sensors as sources to compute relay hop counts toward a
+// mobile collector's path.
+func MultiBFS(g *Graph, srcs []int) *BFSResult {
+	r := &BFSResult{
+		Dist:   make([]int, g.N()),
+		Parent: make([]int, g.N()),
+	}
+	for i := range r.Dist {
+		r.Dist[i] = -1
+		r.Parent[i] = -1
+	}
+	queue := make([]int, 0, g.N())
+	for _, s := range srcs {
+		g.checkVertex(s)
+		if r.Dist[s] == 0 {
+			continue // duplicate source
+		}
+		r.Dist[s] = 0
+		queue = append(queue, s)
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, a := range g.adj[u] {
+			if r.Dist[a.To] < 0 {
+				r.Dist[a.To] = r.Dist[u] + 1
+				r.Parent[a.To] = u
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return r
+}
+
+// Reached reports whether v was reached by the search.
+func (r *BFSResult) Reached(v int) bool { return r.Dist[v] >= 0 }
+
+// PathTo returns the vertex sequence from a source to v (inclusive), or nil
+// when v was not reached.
+func (r *BFSResult) PathTo(v int) []int {
+	if !r.Reached(v) {
+		return nil
+	}
+	var rev []int
+	for u := v; u != -1; u = r.Parent[u] {
+		rev = append(rev, u)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// MaxDist returns the largest finite hop count (the eccentricity of the
+// source set), or -1 when nothing was reached.
+func (r *BFSResult) MaxDist() int {
+	m := -1
+	for _, d := range r.Dist {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

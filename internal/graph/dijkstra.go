@@ -1,0 +1,63 @@
+package graph
+
+import "math"
+
+// SPResult holds weighted shortest-path distances and parent pointers.
+// Unreached vertices have Dist +Inf and Parent -1.
+type SPResult struct {
+	Dist   []float64
+	Parent []int
+}
+
+// Dijkstra computes single-source weighted shortest paths. Edge weights
+// must be non-negative (true for all geometric graphs here).
+func Dijkstra(g *Graph, src int) *SPResult {
+	g.checkVertex(src)
+	r := &SPResult{
+		Dist:   make([]float64, g.N()),
+		Parent: make([]int, g.N()),
+	}
+	for i := range r.Dist {
+		r.Dist[i] = math.Inf(1)
+		r.Parent[i] = -1
+	}
+	r.Dist[src] = 0
+	h := newIndexedHeap(g.N())
+	h.push(src, 0)
+	for h.len() > 0 {
+		u, du := h.pop()
+		if du > r.Dist[u] {
+			continue
+		}
+		for _, a := range g.adj[u] {
+			if a.W < 0 {
+				panic("graph: Dijkstra on negative edge weight")
+			}
+			if nd := du + a.W; nd < r.Dist[a.To] {
+				r.Dist[a.To] = nd
+				r.Parent[a.To] = u
+				h.push(a.To, nd)
+			}
+		}
+	}
+	return r
+}
+
+// Reached reports whether v was reached.
+func (r *SPResult) Reached(v int) bool { return !math.IsInf(r.Dist[v], 1) }
+
+// PathTo returns the vertex sequence from the source to v, or nil when v is
+// unreachable.
+func (r *SPResult) PathTo(v int) []int {
+	if !r.Reached(v) {
+		return nil
+	}
+	var rev []int
+	for u := v; u != -1; u = r.Parent[u] {
+		rev = append(rev, u)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

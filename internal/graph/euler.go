@@ -1,0 +1,71 @@
+package graph
+
+import "fmt"
+
+// EulerCircuit returns a closed walk over n vertices using every edge of
+// the multigraph exactly once (Hierholzer's algorithm), starting at start.
+// The Christofides-style tour construction feeds it the MST plus a
+// matching on the odd-degree vertices. Requirements: every vertex has even
+// degree, and all edges lie in start's connected component.
+func EulerCircuit(n int, edges []Edge, start int) ([]int, error) {
+	if start < 0 || start >= n {
+		return nil, fmt.Errorf("graph: euler start %d out of range [0,%d)", start, n)
+	}
+	if len(edges) == 0 {
+		return []int{start}, nil
+	}
+	// Adjacency with edge indices so each undirected edge is consumed once.
+	type arc struct{ to, edge int }
+	adj := make([][]arc, n)
+	deg := make([]int, n)
+	for ei, e := range edges {
+		adj[e.U] = append(adj[e.U], arc{e.V, ei})
+		adj[e.V] = append(adj[e.V], arc{e.U, ei})
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for v, d := range deg {
+		if d%2 != 0 {
+			return nil, fmt.Errorf("graph: vertex %d has odd degree %d; no Euler circuit", v, d)
+		}
+	}
+	if deg[start] == 0 {
+		return nil, fmt.Errorf("graph: start %d touches no edge", start)
+	}
+	used := make([]bool, len(edges))
+	next := make([]int, n) // per-vertex cursor into adj
+	// Hierholzer with an explicit stack; the circuit comes out reversed,
+	// which is irrelevant for an undirected closed walk but reversed for
+	// determinism anyway.
+	stack := []int{start}
+	var circuit []int
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		advanced := false
+		for next[v] < len(adj[v]) {
+			a := adj[v][next[v]]
+			next[v]++
+			if used[a.edge] {
+				continue
+			}
+			used[a.edge] = true
+			stack = append(stack, a.to)
+			advanced = true
+			break
+		}
+		if !advanced {
+			circuit = append(circuit, v)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	for _, u := range used {
+		if !u {
+			return nil, fmt.Errorf("graph: edges unreachable from start %d; no Euler circuit", start)
+		}
+	}
+	// Reverse for a forward walk from start.
+	for i, j := 0, len(circuit)-1; i < j; i, j = i+1, j-1 {
+		circuit[i], circuit[j] = circuit[j], circuit[i]
+	}
+	return circuit, nil
+}

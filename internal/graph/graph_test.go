@@ -1,0 +1,396 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mobicol/internal/rng"
+)
+
+// line returns the path graph 0-1-2-...-(n-1) with unit weights.
+func line(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+// randomGraph returns a random graph on n vertices where each pair is
+// joined with probability p and a uniform weight in [1, 10).
+func randomGraph(s *rng.Source, n int, p float64) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if s.Bool(p) {
+				g.AddEdge(i, j, s.Uniform(1, 10))
+			}
+		}
+	}
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 2.5)
+	g.AddEdge(1, 2, 1.5)
+	if g.N() != 4 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(0, 2) {
+		t.Fatal("HasEdge wrong")
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Fatal("Degree wrong")
+	}
+	if got := g.TotalWeight(); got != 4 {
+		t.Fatalf("TotalWeight = %v", got)
+	}
+	if len(g.Edges()) != 2 {
+		t.Fatal("Edges wrong")
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-loop did not panic")
+		}
+	}()
+	New(3).AddEdge(1, 1, 1)
+}
+
+func TestVertexRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range vertex did not panic")
+		}
+	}()
+	New(3).AddEdge(0, 3, 1)
+}
+
+func TestBFSLine(t *testing.T) {
+	g := line(5)
+	r := BFS(g, 0)
+	for i := 0; i < 5; i++ {
+		if r.Dist[i] != i {
+			t.Fatalf("Dist[%d] = %d", i, r.Dist[i])
+		}
+	}
+	path := r.PathTo(4)
+	want := []int{0, 1, 2, 3, 4}
+	if len(path) != len(want) {
+		t.Fatalf("PathTo(4) = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("PathTo(4) = %v", path)
+		}
+	}
+	if r.MaxDist() != 4 {
+		t.Fatalf("MaxDist = %d", r.MaxDist())
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	r := BFS(g, 0)
+	if r.Reached(2) || r.Reached(3) {
+		t.Fatal("unreachable vertices reported reached")
+	}
+	if r.PathTo(2) != nil {
+		t.Fatal("PathTo unreachable should be nil")
+	}
+}
+
+func TestMultiBFSNearestSource(t *testing.T) {
+	g := line(7)
+	r := MultiBFS(g, []int{0, 6})
+	wantDist := []int{0, 1, 2, 3, 2, 1, 0}
+	for i, w := range wantDist {
+		if r.Dist[i] != w {
+			t.Fatalf("Dist[%d] = %d, want %d", i, r.Dist[i], w)
+		}
+	}
+}
+
+func TestMultiBFSDuplicateSources(t *testing.T) {
+	g := line(3)
+	r := MultiBFS(g, []int{0, 0, 0})
+	if r.Dist[2] != 2 {
+		t.Fatalf("Dist[2] = %d", r.Dist[2])
+	}
+}
+
+func TestDijkstraVsBFSOnUnitWeights(t *testing.T) {
+	s := rng.New(40)
+	for trial := 0; trial < 20; trial++ {
+		g := New(30)
+		for i := 0; i < 30; i++ {
+			for j := i + 1; j < 30; j++ {
+				if s.Bool(0.1) {
+					g.AddEdge(i, j, 1)
+				}
+			}
+		}
+		bfs := BFS(g, 0)
+		dij := Dijkstra(g, 0)
+		for v := 0; v < 30; v++ {
+			if bfs.Reached(v) != dij.Reached(v) {
+				t.Fatalf("reachability disagrees at %d", v)
+			}
+			if bfs.Reached(v) && float64(bfs.Dist[v]) != dij.Dist[v] {
+				t.Fatalf("unit-weight distance disagrees at %d: %d vs %v", v, bfs.Dist[v], dij.Dist[v])
+			}
+		}
+	}
+}
+
+func TestDijkstraKnownGraph(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 1, 2)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(2, 3, 5)
+	r := Dijkstra(g, 0)
+	want := []float64{0, 3, 1, 4, math.Inf(1)}
+	for i, w := range want {
+		if r.Dist[i] != w {
+			t.Fatalf("Dist[%d] = %v, want %v", i, r.Dist[i], w)
+		}
+	}
+	path := r.PathTo(3)
+	wantPath := []int{0, 2, 1, 3}
+	for i := range wantPath {
+		if path[i] != wantPath[i] {
+			t.Fatalf("PathTo(3) = %v", path)
+		}
+	}
+}
+
+// Property: Dijkstra distances satisfy the triangle inequality over edges:
+// dist[v] <= dist[u] + w(u,v) for every edge.
+func TestQuickDijkstraRelaxed(t *testing.T) {
+	s := rng.New(41)
+	f := func() bool {
+		g := randomGraph(s, 2+s.Intn(40), 0.15)
+		r := Dijkstra(g, 0)
+		for _, e := range g.Edges() {
+			if r.Dist[e.V] > r.Dist[e.U]+e.W+1e-9 || r.Dist[e.U] > r.Dist[e.V]+e.W+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func(uint8) bool { return f() }, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(6)
+	if uf.Sets() != 6 {
+		t.Fatal("initial set count wrong")
+	}
+	if !uf.Union(0, 1) || !uf.Union(2, 3) || uf.Union(0, 1) {
+		t.Fatal("Union return values wrong")
+	}
+	if !uf.Connected(0, 1) || uf.Connected(1, 2) {
+		t.Fatal("Connected wrong")
+	}
+	uf.Union(1, 3)
+	if !uf.Connected(0, 2) {
+		t.Fatal("transitive connection missing")
+	}
+	if uf.Sets() != 3 { // {0,1,2,3}, {4}, {5}
+		t.Fatalf("Sets = %d", uf.Sets())
+	}
+}
+
+func TestMSTKnown(t *testing.T) {
+	// Square with diagonal: MST weight = 1+1+1 = 3.
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 0, 2)
+	g.AddEdge(0, 2, 3)
+	edges, total := MST(g)
+	if len(edges) != 3 || total != 3 {
+		t.Fatalf("MST total = %v with %d edges", total, len(edges))
+	}
+}
+
+func TestMSTMatchesKruskal(t *testing.T) {
+	s := rng.New(42)
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(s, 3+s.Intn(50), 0.3)
+		_, prim := MST(g)
+		_, kruskal := KruskalMST(g)
+		if math.Abs(prim-kruskal) > 1e-9 {
+			t.Fatalf("Prim %v != Kruskal %v", prim, kruskal)
+		}
+	}
+}
+
+func TestMSTForest(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 2) // two components + isolated vertex 4
+	edges, total := MST(g)
+	if len(edges) != 2 || total != 3 {
+		t.Fatalf("forest MST = %v edges, total %v", len(edges), total)
+	}
+}
+
+func TestCompleteEuclideanMSTMatchesSparse(t *testing.T) {
+	s := rng.New(43)
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + s.Intn(30)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i], ys[i] = s.Uniform(0, 100), s.Uniform(0, 100)
+		}
+		dist := func(i, j int) float64 { return math.Hypot(xs[i]-xs[j], ys[i]-ys[j]) }
+		g := New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				g.AddEdge(i, j, dist(i, j))
+			}
+		}
+		_, want := MST(g)
+		_, got := CompleteEuclideanMST(n, dist)
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("dense MST %v != sparse MST %v", got, want)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	comps, comp := Components(g)
+	if len(comps) != 4 { // {0,1,2}, {3,4}, {5}, {6}
+		t.Fatalf("got %d components", len(comps))
+	}
+	if comp[0] != comp[2] || comp[0] == comp[3] || comp[5] == comp[6] {
+		t.Fatal("component labels wrong")
+	}
+	if IsConnected(g) {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if !IsConnected(line(5)) {
+		t.Fatal("line reported disconnected")
+	}
+}
+
+// Property: MST edge count equals N - #components.
+func TestQuickMSTEdgeCount(t *testing.T) {
+	s := rng.New(44)
+	f := func() bool {
+		g := randomGraph(s, 2+s.Intn(40), 0.1)
+		comps, _ := Components(g)
+		edges, _ := MST(g)
+		return len(edges) == g.N()-len(comps)
+	}
+	if err := quick.Check(func(uint8) bool { return f() }, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreePreorderAndDepths(t *testing.T) {
+	//      0
+	//     / \
+	//    1   2
+	//   /   / \
+	//  3   4   5
+	parent := []int{-1, 0, 0, 1, 2, 2}
+	tr := NewTreeFromParents(0, parent)
+	order := tr.Preorder()
+	if order[0] != 0 || len(order) != 6 {
+		t.Fatalf("Preorder = %v", order)
+	}
+	pos := make([]int, 6)
+	for i, v := range order {
+		pos[v] = i
+	}
+	// Every child appears after its parent.
+	for v, p := range parent {
+		if p >= 0 && pos[v] < pos[p] {
+			t.Fatalf("child %d precedes parent %d in %v", v, p, order)
+		}
+	}
+	d := tr.Depths()
+	wantD := []int{0, 1, 1, 2, 2, 2}
+	for i := range wantD {
+		if d[i] != wantD[i] {
+			t.Fatalf("Depths = %v", d)
+		}
+	}
+	sz := tr.SubtreeSizes()
+	wantSz := []int{6, 2, 3, 1, 1, 1}
+	for i := range wantSz {
+		if sz[i] != wantSz[i] {
+			t.Fatalf("SubtreeSizes = %v", sz)
+		}
+	}
+}
+
+func TestMSTTree(t *testing.T) {
+	edges := []Edge{{0, 1, 1}, {1, 2, 1}, {3, 4, 1}}
+	tr := MSTTree(5, edges, 0)
+	if tr.Parent[1] != 0 || tr.Parent[2] != 1 {
+		t.Fatalf("Parent = %v", tr.Parent)
+	}
+	if tr.Parent[3] != -1 || tr.Parent[4] != -1 {
+		t.Fatal("other component should be absent")
+	}
+	if got := len(tr.Preorder()); got != 3 {
+		t.Fatalf("Preorder covers %d vertices, want 3", got)
+	}
+}
+
+func TestIndexedHeapOrdering(t *testing.T) {
+	h := newIndexedHeap(10)
+	prios := []float64{5, 3, 8, 1, 9, 2}
+	for i, p := range prios {
+		h.push(i, p)
+	}
+	h.push(2, 0.5) // decrease-key
+	h.push(4, 100) // increase ignored
+	var got []float64
+	for h.len() > 0 {
+		_, p := h.pop()
+		got = append(got, p)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("heap pops out of order: %v", got)
+		}
+	}
+	if got[0] != 0.5 {
+		t.Fatalf("decrease-key not honoured: %v", got)
+	}
+}
+
+func BenchmarkDijkstra(b *testing.B) {
+	g := randomGraph(rng.New(1), 500, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dijkstra(g, 0)
+	}
+}
+
+func BenchmarkMST(b *testing.B) {
+	g := randomGraph(rng.New(2), 500, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MST(g)
+	}
+}

@@ -1,0 +1,93 @@
+package graph
+
+// indexedHeap is a binary min-heap keyed by float64 priority with
+// decrease-key support, specialised for dense integer items [0, n).
+// Both Dijkstra and Prim need decrease-key, which container/heap only
+// supports awkwardly; a purpose-built heap is simpler and faster.
+type indexedHeap struct {
+	items []int     // heap order -> item
+	pos   []int     // item -> heap position (-1 when absent)
+	prio  []float64 // item -> priority
+}
+
+func newIndexedHeap(n int) *indexedHeap {
+	h := &indexedHeap{
+		items: make([]int, 0, n),
+		pos:   make([]int, n),
+		prio:  make([]float64, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+func (h *indexedHeap) len() int { return len(h.items) }
+
+func (h *indexedHeap) contains(item int) bool { return h.pos[item] >= 0 }
+
+// push inserts item with priority p, or decreases its key if already
+// present with a larger priority. Increase requests are ignored.
+func (h *indexedHeap) push(item int, p float64) {
+	if h.pos[item] >= 0 {
+		if p < h.prio[item] {
+			h.prio[item] = p
+			h.up(h.pos[item])
+		}
+		return
+	}
+	h.prio[item] = p
+	h.pos[item] = len(h.items)
+	h.items = append(h.items, item)
+	h.up(len(h.items) - 1)
+}
+
+// pop removes and returns the minimum-priority item.
+func (h *indexedHeap) pop() (item int, p float64) {
+	item = h.items[0]
+	p = h.prio[item]
+	last := len(h.items) - 1
+	h.swap(0, last)
+	h.items = h.items[:last]
+	h.pos[item] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return item, p
+}
+
+func (h *indexedHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i]] = i
+	h.pos[h.items[j]] = j
+}
+
+func (h *indexedHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[h.items[i]] >= h.prio[h.items[parent]] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *indexedHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.prio[h.items[l]] < h.prio[h.items[smallest]] {
+			smallest = l
+		}
+		if r < n && h.prio[h.items[r]] < h.prio[h.items[smallest]] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// MST computes a minimum spanning forest of g with Prim's algorithm and
+// returns its edges and total weight. For a disconnected graph every
+// component contributes its own tree.
+func MST(g *Graph) (edges []Edge, total float64) {
+	n := g.N()
+	if n == 0 {
+		return nil, 0
+	}
+	inTree := make([]bool, n)
+	best := make([]float64, n)
+	from := make([]int, n)
+	for i := range best {
+		best[i] = math.Inf(1)
+		from[i] = -1
+	}
+	h := newIndexedHeap(n)
+	for start := 0; start < n; start++ {
+		if inTree[start] {
+			continue
+		}
+		best[start] = 0
+		h.push(start, 0)
+		for h.len() > 0 {
+			u, _ := h.pop()
+			if inTree[u] {
+				continue
+			}
+			inTree[u] = true
+			if from[u] >= 0 {
+				edges = append(edges, Edge{from[u], u, best[u]})
+				total += best[u]
+			}
+			for _, a := range g.adj[u] {
+				if !inTree[a.To] && a.W < best[a.To] {
+					best[a.To] = a.W
+					from[a.To] = u
+					h.push(a.To, a.W)
+				}
+			}
+		}
+	}
+	return edges, total
+}
+
+// KruskalMST computes the same minimum spanning forest with Kruskal's
+// algorithm. It exists both as a cross-check in tests and because the
+// multi-collector splitter wants edges in ascending weight order.
+func KruskalMST(g *Graph) (edges []Edge, total float64) {
+	all := g.Edges()
+	sort.Slice(all, func(i, j int) bool { return all[i].W < all[j].W })
+	uf := NewUnionFind(g.N())
+	for _, e := range all {
+		if uf.Union(e.U, e.V) {
+			edges = append(edges, e)
+			total += e.W
+		}
+	}
+	return edges, total
+}
+
+// CompleteEuclideanMST computes the MST of the complete graph whose vertex
+// weights are given by the dist function, in O(n²) time and O(n) memory —
+// the dense Prim variant. This is what tour lower bounds use: building an
+// explicit n² edge list for 500 stops would be wasteful.
+func CompleteEuclideanMST(n int, dist func(i, j int) float64) (parent []int, total float64) {
+	if n == 0 {
+		return nil, 0
+	}
+	parent = make([]int, n)
+	best := make([]float64, n)
+	inTree := make([]bool, n)
+	for i := range best {
+		best[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	best[0] = 0
+	for iter := 0; iter < n; iter++ {
+		u, ud := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !inTree[v] && best[v] < ud {
+				u, ud = v, best[v]
+			}
+		}
+		if u < 0 {
+			break
+		}
+		inTree[u] = true
+		total += ud
+		for v := 0; v < n; v++ {
+			if !inTree[v] {
+				if d := dist(u, v); d < best[v] {
+					best[v] = d
+					parent[v] = u
+				}
+			}
+		}
+	}
+	return parent, total
+}

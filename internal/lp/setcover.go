@@ -1,0 +1,34 @@
+package lp
+
+import "mobicol/internal/bitset"
+
+// SetCoverModel builds the standard set-cover ILP
+//
+//	minimise  sum_c x_c
+//	s.t.      sum_{c covers s} x_c >= 1   for every sensor s
+//	          x_c in {0,1}
+//
+// from bitset covers over a universe of the given size. The polling-point
+// planners use it both to certify their combinatorial exact search and to
+// compute LP lower bounds on the number of stops.
+func SetCoverModel(universe int, covers []*bitset.Set) *Model {
+	m := NewModel(len(covers))
+	for j := range covers {
+		m.SetObjective(j, 1)
+	}
+	for s := 0; s < universe; s++ {
+		coef := make([]float64, len(covers))
+		any := false
+		for c, set := range covers {
+			if set.Has(s) {
+				coef[c] = 1
+				any = true
+			}
+		}
+		// Rows for uncoverable sensors still get added; they make the
+		// model infeasible, which is the correct answer.
+		_ = any
+		m.AddConstraint(coef, GE, 1)
+	}
+	return m
+}

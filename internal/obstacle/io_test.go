@@ -1,0 +1,53 @@
+package obstacle
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mobicol/internal/geom"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	course, err := NewCourse(
+		square(10, 10, 30, 30),
+		Polygon{V: []geom.Point{geom.Pt(50, 50), geom.Pt(70, 50), geom.Pt(60, 70)}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := course.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Obstacles) != 2 {
+		t.Fatalf("round trip kept %d obstacles", len(got.Obstacles))
+	}
+	for i, o := range course.Obstacles {
+		for j, v := range o.V {
+			if !got.Obstacles[i].V[j].Eq(v) {
+				t.Fatalf("vertex (%d,%d) moved", i, j)
+			}
+		}
+	}
+}
+
+func TestReadJSONRejectsBadPolygons(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Clockwise polygon fails validation.
+	cw := `{"obstacles":[[[0,0],[0,10],[10,10],[10,0]]]}`
+	if _, err := ReadJSON(strings.NewReader(cw)); err == nil {
+		t.Fatal("clockwise polygon accepted")
+	}
+	// Two-vertex polygon fails validation.
+	deg := `{"obstacles":[[[0,0],[1,1]]]}`
+	if _, err := ReadJSON(strings.NewReader(deg)); err == nil {
+		t.Fatal("degenerate polygon accepted")
+	}
+}

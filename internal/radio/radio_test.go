@@ -1,0 +1,127 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPRRShape(t *testing.T) {
+	m := Default()
+	r := 30.0
+	// Monotone non-increasing in distance.
+	prev := 2.0
+	for d := 0.0; d <= 2*r; d += 0.5 {
+		p := m.PRR(d, r)
+		if p < 0 || p > 1 {
+			t.Fatalf("PRR(%v) = %v out of [0,1]", d, p)
+		}
+		if p > prev+1e-12 {
+			t.Fatalf("PRR not monotone at d=%v", d)
+		}
+		prev = p
+	}
+	// Half point at D50·R.
+	if got := m.PRR(m.D50*r, r); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("PRR at D50 = %v, want 0.5", got)
+	}
+	// Near-perfect close in.
+	if m.PRR(0.2*r, r) < 0.99 {
+		t.Fatalf("short link PRR %v too low", m.PRR(0.2*r, r))
+	}
+}
+
+func TestPerfectModel(t *testing.T) {
+	m := Perfect()
+	if m.PRR(29, 30) != 1 || m.PRR(31, 30) != 0 {
+		t.Fatal("Perfect model not a step function at R")
+	}
+	if m.ExpectedTx(10, 30) != 1 {
+		t.Fatal("Perfect model should need one attempt")
+	}
+	if m.DeliveryProb(10, 30) != 1 {
+		t.Fatal("Perfect in-range delivery should be certain")
+	}
+}
+
+func TestExpectedTxBounds(t *testing.T) {
+	m := Default()
+	r := 30.0
+	for d := 0.0; d <= 3*r; d += 1 {
+		e := m.ExpectedTx(d, r)
+		if e < 1-1e-12 || e > float64(1+m.MaxRetries)+1e-12 {
+			t.Fatalf("ExpectedTx(%v) = %v outside [1, %d]", d, e, 1+m.MaxRetries)
+		}
+	}
+	// Far link saturates at the retry budget.
+	if got := m.ExpectedTx(3*r, r); math.Abs(got-float64(1+m.MaxRetries)) > 1e-6 {
+		t.Fatalf("saturation = %v", got)
+	}
+}
+
+func TestDeliveryProbImprovesWithRetries(t *testing.T) {
+	a := Model{D50: 0.9, Width: 0.1, MaxRetries: 0}
+	b := Model{D50: 0.9, Width: 0.1, MaxRetries: 5}
+	d, r := 27.0, 30.0
+	if b.DeliveryProb(d, r) <= a.DeliveryProb(d, r) {
+		t.Fatal("retries did not improve delivery")
+	}
+}
+
+func TestChainDeliveryProb(t *testing.T) {
+	m := Default()
+	r := 30.0
+	single := m.DeliveryProb(20, r)
+	chain := m.ChainDeliveryProb([]float64{20, 20, 20}, r)
+	if math.Abs(chain-single*single*single) > 1e-12 {
+		t.Fatalf("chain %v != single^3 %v", chain, math.Pow(single, 3))
+	}
+	if m.ChainDeliveryProb(nil, r) != 1 {
+		t.Fatal("empty chain should be certain")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Model{
+		{D50: 0, Width: 0.1},
+		{D50: 1, Width: 0},
+		{D50: 1, Width: 0.1, MaxRetries: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestPanicsOnBadDistance(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative distance did not panic")
+		}
+	}()
+	Default().PRR(-1, 30)
+}
+
+// Property: DeliveryProb == 1 - (1-PRR)^(1+K) and ExpectedTx·PRR >=
+// DeliveryProb (each success consumes at least one attempt).
+func TestQuickIdentities(t *testing.T) {
+	f := func(du, ku uint8) bool {
+		m := Model{D50: 0.9, Width: 0.1, MaxRetries: int(ku % 6)}
+		d := float64(du) / 4 // 0..64 m
+		r := 30.0
+		p := m.PRR(d, r)
+		dp := m.DeliveryProb(d, r)
+		want := 1 - math.Pow(1-p, float64(1+m.MaxRetries))
+		if math.Abs(dp-want) > 1e-9 {
+			return false
+		}
+		return dp >= p-1e-12 && dp <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

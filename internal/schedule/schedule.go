@@ -1,0 +1,249 @@
+// Package schedule handles visit-frequency constraints: sensors generate
+// data continuously, polling points buffer it, and the collector must
+// revisit each stop before its buffer overflows (the mobile-element
+// scheduling problem of Somasundara et al., which the paper's periodic
+// gathering builds on). The package answers three questions:
+//
+//  1. Is a fixed cyclic tour feasible at a given collector speed
+//     (no stop overflows between consecutive visits)?
+//  2. What is the minimum feasible speed for a tour?
+//  3. When no cyclic tour is feasible, how much less data does an
+//     earliest-deadline-first (EDF) visiting policy lose than the fixed
+//     cyclic order?
+package schedule
+
+import (
+	"fmt"
+	"math"
+
+	"mobicol/internal/collector"
+	"mobicol/internal/geom"
+)
+
+// Demand describes one stop's buffering situation.
+type Demand struct {
+	// Rate is the stop's aggregate data generation in packets/second
+	// (the sum over its affiliated sensors).
+	Rate float64
+	// Buffer is the stop's capacity in packets.
+	Buffer float64
+}
+
+// overflowHorizon returns how long the stop can go unvisited from empty.
+func (d Demand) overflowHorizon() float64 {
+	if d.Rate <= 0 {
+		return math.Inf(1)
+	}
+	return d.Buffer / d.Rate
+}
+
+// DemandsFromPlan derives per-stop demands from a tour plan: every sensor
+// contributes ratePerSensor; every stop has the given buffer.
+func DemandsFromPlan(plan *collector.TourPlan, ratePerSensor, buffer float64) []Demand {
+	counts := plan.SensorsAt()
+	out := make([]Demand, len(counts))
+	for i, c := range counts {
+		out[i] = Demand{Rate: float64(c) * ratePerSensor, Buffer: buffer}
+	}
+	return out
+}
+
+// CyclicFeasible reports whether the cyclic tour at the given spec
+// revisits every stop before overflow: the revisit period (one full round)
+// must not exceed any stop's overflow horizon.
+func CyclicFeasible(plan *collector.TourPlan, demands []Demand, spec collector.Spec) bool {
+	period := plan.RoundTime(spec)
+	for _, d := range demands {
+		if period > d.overflowHorizon()+1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// MinSpeed returns the minimum collector speed making the cyclic tour
+// feasible, holding the per-sensor upload time fixed. It errors when even
+// infinite speed cannot help (the upload time alone exceeds some horizon).
+func MinSpeed(plan *collector.TourPlan, demands []Demand, uploadTime float64) (float64, error) {
+	tight := math.Inf(1)
+	for _, d := range demands {
+		tight = math.Min(tight, d.overflowHorizon())
+	}
+	if math.IsInf(tight, 1) {
+		return 0, nil // nothing generates data; any speed works
+	}
+	uploads := float64(plan.Served()) * uploadTime
+	if uploads >= tight {
+		return 0, fmt.Errorf("schedule: upload time %.1fs alone exceeds the tightest overflow horizon %.1fs", uploads, tight)
+	}
+	return plan.Length() / (tight - uploads), nil
+}
+
+// Policy selects the visiting order of a simulated run.
+type Policy int
+
+const (
+	// Cyclic repeats the plan's stop order forever.
+	Cyclic Policy = iota
+	// EDF always drives to the stop whose buffer will overflow first.
+	EDF
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == EDF {
+		return "edf"
+	}
+	return "cyclic"
+}
+
+// RunResult summarises a scheduling simulation.
+type RunResult struct {
+	Policy    Policy
+	Horizon   float64
+	Generated float64 // packets produced
+	Collected float64 // packets picked up
+	Lost      float64 // packets dropped to full buffers
+	Visits    int
+	Driven    float64 // metres
+}
+
+// LossFraction returns Lost / Generated (0 when nothing was generated).
+func (r *RunResult) LossFraction() float64 {
+	if r.Generated == 0 {
+		return 0
+	}
+	return r.Lost / r.Generated
+}
+
+// Run simulates continuous generation and collector visits over the
+// horizon. Buffers fill at their demand rates; packets arriving at a full
+// buffer are lost; a visit empties the buffer after a service time of
+// spec.UploadTime per buffered packet. The simulation is deterministic.
+func Run(plan *collector.TourPlan, demands []Demand, spec collector.Spec, policy Policy, horizon float64) (*RunResult, error) {
+	if len(demands) != len(plan.Stops) {
+		return nil, fmt.Errorf("schedule: %d demands for %d stops", len(demands), len(plan.Stops))
+	}
+	if spec.Speed <= 0 {
+		return nil, fmt.Errorf("schedule: non-positive speed")
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("schedule: non-positive horizon")
+	}
+	n := len(plan.Stops)
+	res := &RunResult{Policy: policy, Horizon: horizon}
+	if n == 0 {
+		return res, nil
+	}
+	level := make([]float64, n)  // buffered packets
+	lastAt := make([]float64, n) // time of last level update
+	pos := plan.Sink
+	now := 0.0
+	next := 0 // cyclic cursor
+
+	// advance brings stop s's buffer up to date at time t, accounting
+	// generation and overflow.
+	advance := func(s int, t float64) {
+		dt := t - lastAt[s]
+		if dt <= 0 {
+			return
+		}
+		gen := demands[s].Rate * dt
+		res.Generated += gen
+		room := demands[s].Buffer - level[s]
+		if gen > room {
+			res.Lost += gen - room
+			level[s] = demands[s].Buffer
+		} else {
+			level[s] += gen
+		}
+		lastAt[s] = t
+	}
+
+	pick := func() int {
+		if policy == Cyclic {
+			s := next
+			next = (next + 1) % n
+			return s
+		}
+		// EDF: earliest absolute overflow instant; idle stops (rate 0)
+		// go last, ties toward the nearest stop.
+		best, bestT, bestD := -1, math.Inf(1), math.Inf(1)
+		for s := 0; s < n; s++ {
+			var deadline float64
+			if demands[s].Rate <= 0 {
+				deadline = math.Inf(1)
+			} else {
+				deadline = now + (demands[s].Buffer-level[s])/demands[s].Rate
+			}
+			d := pos.Dist(plan.Stops[s])
+			if deadline < bestT-1e-12 || (deadline < bestT+1e-12 && d < bestD) {
+				best, bestT, bestD = s, deadline, d
+			}
+		}
+		return best
+	}
+
+	for now < horizon {
+		startNow := now
+		s := pick()
+		target := plan.Stops[s]
+		drive := pos.Dist(target) / spec.Speed
+		arrive := now + drive
+		if arrive > horizon {
+			arrive = horizon
+			target = geom.Seg(pos, plan.Stops[s]).PointAt((horizon - now) * spec.Speed / math.Max(pos.Dist(plan.Stops[s]), 1e-12))
+			// Buffers still fill while the collector is en route.
+			for v := 0; v < n; v++ {
+				advance(v, horizon)
+			}
+			res.Driven += pos.Dist(target)
+			now = horizon
+			break
+		}
+		for v := 0; v < n; v++ {
+			advance(v, arrive)
+		}
+		res.Driven += pos.Dist(plan.Stops[s])
+		pos = plan.Stops[s]
+		now = arrive
+		// Service: empty the buffer; generation continues during service.
+		service := level[s] * spec.UploadTime
+		res.Collected += level[s]
+		level[s] = 0
+		lastAt[s] = now
+		end := math.Min(now+service, horizon)
+		for v := 0; v < n; v++ {
+			advance(v, end)
+		}
+		res.Visits++
+		now = end
+		// minStep guards against Zeno livelock: when the collector
+		// re-picks the stop it is parked at, each "visit" advances time
+		// only by the shrinking service of what trickled in during the
+		// previous one — a geometric series that converges without ever
+		// reaching the horizon. Any step below a microsecond counts as
+		// idling.
+		const minStep = 1e-6
+		if now < startNow+minStep {
+			// The collector idled. Jump forward to when buffers
+			// meaningfully refill so the simulation always progresses.
+			idle := math.Inf(1)
+			for v := range demands {
+				if demands[v].Rate > 0 {
+					idle = math.Min(idle, math.Max(demands[v].Buffer/(2*demands[v].Rate), 1e-3))
+				}
+			}
+			if math.IsInf(idle, 1) {
+				break // nothing generates data anywhere
+			}
+			now = math.Min(horizon, now+idle)
+			for v := 0; v < n; v++ {
+				advance(v, now)
+			}
+		}
+	}
+	// Data still buffered at the horizon was neither lost nor collected;
+	// leave it out of both tallies (callers compare loss fractions).
+	return res, nil
+}

@@ -1,0 +1,194 @@
+package shdgp
+
+import (
+	"fmt"
+	"sort"
+
+	"mobicol/internal/bitset"
+	"mobicol/internal/collector"
+	"mobicol/internal/geom"
+	"mobicol/internal/graph"
+	"mobicol/internal/tsp"
+)
+
+// PlanCapacitated plans a tour in which no stop serves more than cap
+// sensors. The bound models the polling point's packet buffer: a stop must
+// hold its sensors' packets until the collector arrives, so the buffer
+// size caps how many sensors may affiliate with it (the buffer-overflow
+// concern the paper raises when motivating planned mobile gathering).
+//
+// Selection is capacity-aware greedy: pick the unused candidate with the
+// largest capped marginal coverage (ties toward the sink), then assign it
+// its cap nearest uncovered sensors. Because every sensor's own site is a
+// candidate in all strategies and a sensor is its own nearest uncovered
+// sensor at distance zero, the loop always makes progress, so any cap >= 1
+// is feasible.
+func PlanCapacitated(p *Problem, cap int, opts tsp.Options) (*Solution, error) {
+	if cap <= 0 {
+		return nil, fmt.Errorf("shdgp: capacity must be positive, got %d", cap)
+	}
+	inst := p.Instance()
+	if err := inst.Err(); err != nil {
+		return nil, err
+	}
+	sensors := p.Net.Positions()
+
+	uncovered := bitset.New(inst.Universe)
+	uncovered.Fill()
+	used := make([]bool, len(inst.Covers))
+	var stopsCand []int     // chosen candidate per stop
+	var stopsAssign [][]int // sensors served by each stop
+
+	for !uncovered.Empty() {
+		best, bestGain := -1, 0
+		var bestDist float64
+		for c, set := range inst.Covers {
+			if used[c] {
+				continue
+			}
+			gain := set.CountAnd(uncovered)
+			if gain > cap {
+				gain = cap
+			}
+			if gain == 0 {
+				continue
+			}
+			dist := inst.Candidates[c].Dist2(p.Net.Sink)
+			if gain > bestGain || (gain == bestGain && dist < bestDist) {
+				best, bestGain, bestDist = c, gain, dist
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("shdgp: capacitated greedy stalled with %d sensors uncovered", uncovered.Count())
+		}
+		used[best] = true
+		// Serve the cap nearest uncovered sensors in this stop's range.
+		var eligible []int
+		inst.Covers[best].ForEach(func(s int) {
+			if uncovered.Has(s) {
+				eligible = append(eligible, s)
+			}
+		})
+		pos := inst.Candidates[best]
+		sort.Slice(eligible, func(a, b int) bool {
+			return sensors[eligible[a]].Dist2(pos) < sensors[eligible[b]].Dist2(pos)
+		})
+		if len(eligible) > cap {
+			eligible = eligible[:cap]
+		}
+		for _, s := range eligible {
+			uncovered.Remove(s)
+		}
+		stopsCand = append(stopsCand, best)
+		stopsAssign = append(stopsAssign, eligible)
+	}
+
+	// Order the stops with the TSP engine (sink anchored at index 0).
+	pts := make([]geom.Point, 0, len(stopsCand)+1)
+	pts = append(pts, p.Net.Sink)
+	for _, c := range stopsCand {
+		pts = append(pts, inst.Candidates[c])
+	}
+	tour := tsp.Solve(pts, opts)
+	tour.RotateTo(0)
+	orderedStops := make([]geom.Point, 0, len(stopsCand))
+	orderPos := make([]int, len(stopsCand))
+	for _, idx := range tour[1:] {
+		orderPos[idx-1] = len(orderedStops)
+		orderedStops = append(orderedStops, pts[idx])
+	}
+	uploadAt := make([]int, len(sensors))
+	for i := range uploadAt {
+		uploadAt[i] = -1
+	}
+	for sIdx, members := range stopsAssign {
+		for _, s := range members {
+			uploadAt[s] = orderPos[sIdx]
+		}
+	}
+	plan := &collector.TourPlan{Sink: p.Net.Sink, Stops: orderedStops, UploadAt: uploadAt}
+	return &Solution{
+		Plan:      plan,
+		Length:    plan.Length(),
+		Algorithm: fmt.Sprintf("shdg-cap%d", cap),
+	}, nil
+}
+
+// ValidateCapacity checks that no stop serves more than cap sensors.
+func (s *Solution) ValidateCapacity(cap int) error {
+	for stop, count := range s.Plan.SensorsAt() {
+		if count > cap {
+			return fmt.Errorf("shdgp: stop %d serves %d sensors, capacity %d", stop, count, cap)
+		}
+	}
+	return nil
+}
+
+// PlanSweep is an alternative heuristic in the traversal family: build a
+// hop-count shortest-path tree over each connected component (rooted at
+// the component's sensor nearest the sink), walk it in preorder, and the
+// first time the walk reaches an uncovered sensor, open a stop at the
+// candidate that covers it with the largest uncovered gain. The walk makes
+// consecutive stops spatially coherent, which the final TSP pass then
+// exploits. It exists as an E8 ablation point against the global greedy.
+func PlanSweep(p *Problem, opts tsp.Options) (*Solution, error) {
+	inst := p.Instance()
+	if err := inst.Err(); err != nil {
+		return nil, err
+	}
+	sensors := p.Net.Positions()
+	if len(sensors) == 0 {
+		return nil, fmt.Errorf("shdgp: empty network")
+	}
+	// coversSensor[s]: candidate indices covering sensor s.
+	coversSensor := make([][]int, inst.Universe)
+	for c, set := range inst.Covers {
+		set.ForEach(func(s int) { coversSensor[s] = append(coversSensor[s], c) })
+	}
+
+	uncovered := bitset.New(inst.Universe)
+	uncovered.Fill()
+	var chosen []int
+	for _, s := range sweepOrder(p) {
+		if !uncovered.Has(s) {
+			continue
+		}
+		best, bestGain := -1, -1
+		for _, c := range coversSensor[s] {
+			gain := inst.Covers[c].CountAnd(uncovered)
+			if gain > bestGain {
+				best, bestGain = c, gain
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("shdgp: sweep found no candidate for sensor %d", s)
+		}
+		chosen = append(chosen, best)
+		uncovered.AndNot(inst.Covers[best])
+	}
+	sol := buildSolution(p, inst, chosen, opts, "shdg-sweep")
+	return sol, nil
+}
+
+// sweepOrder returns all sensors in component-by-component preorder of the
+// hop-count SPT rooted at each component's sensor nearest the sink.
+func sweepOrder(p *Problem) []int {
+	nw := p.Net
+	g := nw.Graph()
+	order := make([]int, 0, nw.N())
+	for _, comp := range nw.Components() {
+		root := comp[0]
+		bestD := nw.Nodes[root].Pos.Dist2(nw.Sink)
+		for _, v := range comp[1:] {
+			if d := nw.Nodes[v].Pos.Dist2(nw.Sink); d < bestD {
+				root, bestD = v, d
+			}
+		}
+		// Preorder walk of the BFS tree: the hop-count SPT of the
+		// component.
+		r := graph.BFS(g, root)
+		tree := graph.NewTreeFromParents(root, r.Parent)
+		order = append(order, tree.Preorder()...)
+	}
+	return order
+}

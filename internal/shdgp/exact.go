@@ -1,0 +1,187 @@
+package shdgp
+
+import (
+	"fmt"
+	"math"
+
+	"mobicol/internal/bitset"
+	"mobicol/internal/geom"
+	"mobicol/internal/lp"
+	"mobicol/internal/tsp"
+)
+
+// ExactLimits bounds the exact solver. The paper only certifies optima on
+// small networks (CPLEX on ~25-sensor instances); the same restriction
+// applies here.
+type ExactLimits struct {
+	// MaxCandidates rejects instances with more candidates after
+	// dominance pruning (default 64).
+	MaxCandidates int
+	// MaxStops rejects covers larger than this during enumeration
+	// (default 14, keeping the leaf TSPs within Held–Karp range).
+	MaxStops int
+	// MaxNodes caps enumeration nodes; when it trips the best solution
+	// found is returned with Exact=false (default 5e6).
+	MaxNodes int
+}
+
+// DefaultExactLimits returns the documented defaults.
+func DefaultExactLimits() ExactLimits {
+	return ExactLimits{MaxCandidates: 64, MaxStops: 14, MaxNodes: 5_000_000}
+}
+
+// PlanExact solves the SHDGP to optimality (within limits) by enumerating
+// covers and solving each leaf's TSP exactly.
+//
+// Enumeration branches on the lowest-index uncovered sensor: any feasible
+// cover must contain some candidate covering it, so the search tree is
+// complete over *minimal* covers. Supersets of a cover are never cheaper —
+// in a metric space, the optimal tour over a superset of stops is at least
+// the optimal tour over the subset — so restricting to minimal covers
+// preserves optimality. Partial selections are pruned with the MST lower
+// bound over {sink} ∪ chosen stops for the same monotonicity reason.
+func PlanExact(p *Problem, limits ExactLimits) (*Solution, error) {
+	if limits.MaxCandidates == 0 {
+		limits = DefaultExactLimits()
+	}
+	instFull := p.Instance()
+	if err := instFull.Err(); err != nil {
+		return nil, err
+	}
+	inst, orig := instFull.Prune()
+	if len(inst.Covers) > limits.MaxCandidates {
+		return nil, fmt.Errorf("shdgp: exact solver limited to %d candidates, instance has %d after pruning",
+			limits.MaxCandidates, len(inst.Covers))
+	}
+
+	// Incumbent from the heuristic planner: tight pruning from node one.
+	heur, err := Plan(p, DefaultPlannerOptions())
+	if err != nil {
+		return nil, err
+	}
+	bestLen := heur.Length
+	var bestChosen []int
+	exact := true
+
+	// coversSensor[s]: candidates covering s, largest cover first.
+	coversSensor := make([][]int, inst.Universe)
+	for c, set := range inst.Covers {
+		set.ForEach(func(s int) { coversSensor[s] = append(coversSensor[s], c) })
+	}
+	for s := range coversSensor {
+		cs := coversSensor[s]
+		for i := 1; i < len(cs); i++ {
+			for j := i; j > 0 && inst.Covers[cs[j]].Count() > inst.Covers[cs[j-1]].Count(); j-- {
+				cs[j], cs[j-1] = cs[j-1], cs[j]
+			}
+		}
+	}
+
+	uncovered := bitset.New(inst.Universe)
+	uncovered.Fill()
+	var cur []int
+	nodes := 0
+
+	tourLB := func() float64 {
+		pts := make([]geom.Point, 0, len(cur)+1)
+		pts = append(pts, p.Net.Sink)
+		for _, c := range cur {
+			pts = append(pts, inst.Candidates[c])
+		}
+		return tsp.MSTLowerBound(pts)
+	}
+	leafLen := func() float64 {
+		pts := make([]geom.Point, 0, len(cur)+1)
+		pts = append(pts, p.Net.Sink)
+		for _, c := range cur {
+			pts = append(pts, inst.Candidates[c])
+		}
+		if len(pts) <= tsp.HeldKarpMax {
+			t, err := tsp.HeldKarp(pts)
+			if err == nil {
+				return t.Length(pts)
+			}
+		}
+		t, _ := tsp.BranchBound(pts, 2_000_000)
+		return t.Length(pts)
+	}
+
+	var rec func()
+	rec = func() {
+		nodes++
+		if limits.MaxNodes > 0 && nodes > limits.MaxNodes {
+			exact = false
+			return
+		}
+		if uncovered.Empty() {
+			if l := leafLen(); l < bestLen-1e-9 {
+				bestLen = l
+				bestChosen = append(bestChosen[:0], cur...)
+			}
+			return
+		}
+		if len(cur) >= limits.MaxStops {
+			return
+		}
+		if tourLB() >= bestLen-1e-9 {
+			return
+		}
+		s := uncovered.NextSet(0)
+		for _, c := range coversSensor[s] {
+			newly := inst.Covers[c].Clone()
+			newly.And(uncovered)
+			if newly.Empty() {
+				continue // c covers nothing new on this branch
+			}
+			uncovered.AndNot(inst.Covers[c])
+			cur = append(cur, c)
+			rec()
+			cur = cur[:len(cur)-1]
+			uncovered.Or(newly)
+			if limits.MaxNodes > 0 && nodes > limits.MaxNodes {
+				return
+			}
+		}
+	}
+	rec()
+
+	if bestChosen == nil {
+		// The heuristic was already optimal (or the cap tripped before
+		// anything better appeared). Re-label and return it.
+		heur.Exact = exact
+		heur.Algorithm = "exact(=heuristic)"
+		if !exact {
+			heur.Algorithm = "exact-capped(heuristic incumbent)"
+		}
+		return heur, nil
+	}
+	mapped := make([]int, len(bestChosen))
+	for i, c := range bestChosen {
+		mapped[i] = orig[c]
+	}
+	// MaxStops <= 14 keeps the final instance within Held–Karp range, so
+	// buildSolution re-solves the winning stop set exactly.
+	sol := buildSolution(p, instFull, mapped, tsp.Options{Construction: tsp.ConstructGreedy, TwoOpt: true, OrOpt: true, ExactBelow: tsp.HeldKarpMax}, "exact")
+	sol.Exact = exact
+	return sol, nil
+}
+
+// MinStopsILP returns the LP-certified minimum number of stops for the
+// instance — the set-cover component of the paper's MIP, solved with the
+// in-repo branch-and-bound ILP. It is used by the E1 experiment to verify
+// the combinatorial exact search against an independent solver.
+func MinStopsILP(p *Problem, maxNodes int) (int, bool, error) {
+	inst, _ := p.Instance().Prune()
+	if err := inst.Err(); err != nil {
+		return 0, false, err
+	}
+	m := lp.SetCoverModel(inst.Universe, inst.Covers)
+	sol, err := m.SolveBinary(maxNodes)
+	if err != nil {
+		return 0, false, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, false, fmt.Errorf("shdgp: set-cover ILP status %v", sol.Status)
+	}
+	return int(math.Round(sol.Obj)), sol.Exact, nil
+}

@@ -1,0 +1,189 @@
+package shdgp
+
+import (
+	"fmt"
+
+	"mobicol/internal/bitset"
+	"mobicol/internal/cover"
+	"mobicol/internal/geom"
+	"mobicol/internal/tsp"
+)
+
+// PlannerOptions configures the heuristic planner.
+type PlannerOptions struct {
+	// TSP configures tour construction and improvement.
+	TSP tsp.Options
+	// Refine enables the drop-redundant-stop and relocate-stop passes.
+	Refine bool
+	// RefinePasses bounds refinement iterations (default 3).
+	RefinePasses int
+	// ExactCover uses the exact minimum-cardinality cover instead of
+	// greedy (small instances only; greedy is the default at scale).
+	ExactCover bool
+}
+
+// DefaultPlannerOptions is the configuration the experiments label
+// "SHDG": greedy covering, greedy-edge + 2-opt + Or-opt tour, refinement.
+func DefaultPlannerOptions() PlannerOptions {
+	return PlannerOptions{TSP: tsp.DefaultOptions(), Refine: true, RefinePasses: 3}
+}
+
+// Plan runs the heuristic single-collector planner:
+//
+//  1. Generate candidate stops and pick a cover greedily, breaking ties
+//     toward the sink so stops gravitate inward.
+//  2. Order sink + stops with the TSP engine.
+//  3. Refine: drop stops whose sensors are absorbed by remaining stops,
+//     and relocate each stop to the candidate that covers the same
+//     critical sensors with the smallest tour detour.
+func Plan(p *Problem, opts PlannerOptions) (*Solution, error) {
+	inst := p.Instance()
+	if err := inst.Err(); err != nil {
+		return nil, err
+	}
+	var chosen []int
+	var err error
+	if opts.ExactCover {
+		chosen, _, err = inst.ExactMin(2_000_000)
+	} else {
+		chosen, err = inst.Greedy(p.Net.Sink)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.Refine {
+		passes := opts.RefinePasses
+		if passes <= 0 {
+			passes = 3
+		}
+		for pass := 0; pass < passes; pass++ {
+			changed := dropRedundant(inst, &chosen)
+			changed = relocateStops(p, inst, chosen) || changed
+			if !changed {
+				break
+			}
+		}
+	}
+	sol := buildSolution(p, inst, chosen, opts.TSP, algorithmName(opts))
+	return sol, nil
+}
+
+func algorithmName(opts PlannerOptions) string {
+	name := "shdg-greedy"
+	if opts.ExactCover {
+		name = "shdg-exactcover"
+	}
+	if opts.Refine {
+		name += "+refine"
+	}
+	return name
+}
+
+// dropRedundant removes chosen stops whose covered sensors are all covered
+// by the other chosen stops. Fewer stops can only shorten the tour. Stops
+// are considered in increasing unique-coverage order so the least useful
+// go first. Returns whether anything was dropped.
+func dropRedundant(inst *cover.Instance, chosen *[]int) bool {
+	dropped := false
+	for {
+		cur := *chosen
+		removeAt := -1
+		for i := range cur {
+			rest := bitset.New(inst.Universe)
+			for j, c := range cur {
+				if j != i {
+					rest.Or(inst.Covers[c])
+				}
+			}
+			if inst.Covers[cur[i]].SubsetOf(rest) {
+				removeAt = i
+				break
+			}
+		}
+		if removeAt < 0 {
+			return dropped
+		}
+		*chosen = append(cur[:removeAt], cur[removeAt+1:]...)
+		dropped = true
+	}
+}
+
+// relocateStops tries to replace each chosen stop with an alternative
+// candidate that still covers the stop's critical sensors (those no other
+// chosen stop covers) while sitting closer to the tour through the
+// remaining stops. The proxy objective is the detour relative to the
+// stop's two current tour neighbours. Returns whether any stop moved.
+func relocateStops(p *Problem, inst *cover.Instance, chosen []int) bool {
+	if len(chosen) == 0 {
+		return false
+	}
+	// Current tour order over sink + stops to know each stop's neighbours.
+	pts := make([]geom.Point, 0, len(chosen)+1)
+	pts = append(pts, p.Net.Sink)
+	for _, c := range chosen {
+		pts = append(pts, inst.Candidates[c])
+	}
+	tour := tsp.Solve(pts, tsp.Options{Construction: tsp.ConstructGreedy, TwoOpt: true})
+	tour.RotateTo(0)
+	prev := make([]geom.Point, len(chosen))
+	next := make([]geom.Point, len(chosen))
+	for ti, idx := range tour {
+		if idx == 0 {
+			continue
+		}
+		prev[idx-1] = pts[tour[(ti-1+len(tour))%len(tour)]]
+		next[idx-1] = pts[tour[(ti+1)%len(tour)]]
+	}
+
+	moved := false
+	for i := range chosen {
+		// Critical sensors: covered by stop i and by no other stop.
+		critical := inst.Covers[chosen[i]].Clone()
+		for j, c := range chosen {
+			if j != i {
+				critical.AndNot(inst.Covers[c])
+			}
+		}
+		cur := inst.Candidates[chosen[i]]
+		bestCost := prev[i].Dist(cur) + cur.Dist(next[i])
+		bestCand := chosen[i]
+		for c := range inst.Covers {
+			if c == chosen[i] {
+				continue
+			}
+			if !critical.SubsetOf(inst.Covers[c]) {
+				continue
+			}
+			alt := inst.Candidates[c]
+			if cost := prev[i].Dist(alt) + alt.Dist(next[i]); cost < bestCost-1e-9 {
+				bestCost = cost
+				bestCand = c
+			}
+		}
+		if bestCand != chosen[i] {
+			chosen[i] = bestCand
+			moved = true
+		}
+	}
+	return moved
+}
+
+// PlanVisitAll returns the "d = 0" extreme: the collector visits every
+// sensor position (single hop at zero distance). The paper's introduction
+// uses it to motivate covering stops; the experiments use it as the
+// maximum-energy-saving baseline.
+func PlanVisitAll(p *Problem, opts tsp.Options) (*Solution, error) {
+	sensors := p.Net.Positions()
+	if len(sensors) == 0 {
+		return nil, fmt.Errorf("shdgp: empty network")
+	}
+	inst := cover.NewInstance(sensors, sensors, p.Net.Range)
+	chosen := make([]int, len(inst.Candidates))
+	for i := range chosen {
+		chosen[i] = i
+	}
+	// Assign every sensor to its own position, not the nearest stop: with
+	// all sensors as stops the nearest stop IS its own position.
+	sol := buildSolution(p, inst, chosen, opts, "visit-all-tsp")
+	return sol, nil
+}

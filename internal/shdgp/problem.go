@@ -1,0 +1,131 @@
+// Package shdgp implements the paper's core contribution: the Single-Hop
+// Data Gathering Problem and its planners.
+//
+// Problem statement (Ma & Yang, IPDPS 2008). An M-collector departs from
+// the static data sink, pauses at a sequence of stop positions ("polling
+// points"), and returns to the sink. While paused at a stop it polls the
+// sensors within transmission range, each of which uploads its data in a
+// single hop. The SHDGP asks for the stop set and visiting order that
+// minimise the total tour length subject to every sensor being within
+// range of at least one stop. Minimising tour length minimises the
+// dominant term of data-collection latency, since the collector moves at
+// ~1 m/s while radio transfers are near-instant by comparison.
+//
+// The problem jointly contains geometric disk cover (choose the stops) and
+// the Euclidean TSP (order them), and is NP-hard; the package provides the
+// heuristic planner used at scale plus an exact solver for the small
+// instances the paper certifies against CPLEX.
+package shdgp
+
+import (
+	"fmt"
+
+	"mobicol/internal/collector"
+	"mobicol/internal/cover"
+	"mobicol/internal/geom"
+	"mobicol/internal/tsp"
+	"mobicol/internal/wsn"
+)
+
+// Problem is one SHDGP instance.
+type Problem struct {
+	Net *wsn.Network
+	// Strategy selects candidate stop generation (default SensorSites).
+	Strategy cover.CandidateStrategy
+	// GridSpacing applies to the FieldGrid strategy (default 20 m, the
+	// paper's evaluation setting).
+	GridSpacing float64
+}
+
+// NewProblem wraps a network with default candidate generation.
+func NewProblem(nw *wsn.Network) *Problem { return &Problem{Net: nw} }
+
+// Instance materialises the covering instance for the problem.
+func (p *Problem) Instance() *cover.Instance {
+	sensors := p.Net.Positions()
+	cands := cover.GenerateCandidates(sensors, p.Net.Field, p.Net.Range, p.Strategy, p.GridSpacing)
+	return cover.NewInstance(sensors, cands, p.Net.Range)
+}
+
+// Solution is a planned single-hop gathering tour.
+type Solution struct {
+	// Plan is the executable tour: ordered stops (sink excluded) plus
+	// the sensor-to-stop assignment.
+	Plan *collector.TourPlan
+	// Length is the closed tour length in metres.
+	Length float64
+	// Exact is true when the solution is provably optimal.
+	Exact bool
+	// Algorithm names the planner that produced the solution.
+	Algorithm string
+}
+
+// Stops returns the number of polling points (excluding the sink).
+func (s *Solution) Stops() int { return len(s.Plan.Stops) }
+
+// Validate checks the single-hop guarantee and tour consistency against
+// the problem's network.
+func (s *Solution) Validate(p *Problem) error {
+	sensors := p.Net.Positions()
+	if err := s.Plan.Validate(sensors, p.Net.Range); err != nil {
+		return err
+	}
+	for i, stop := range s.Plan.UploadAt {
+		if stop < 0 {
+			return fmt.Errorf("shdgp: sensor %d has no upload stop", i)
+		}
+	}
+	if got := s.Plan.Length(); !almostEq(got, s.Length) {
+		return fmt.Errorf("shdgp: recorded length %.4f != recomputed %.4f", s.Length, got)
+	}
+	if !s.Plan.Sink.Eq(p.Net.Sink) {
+		return fmt.Errorf("shdgp: tour anchored at %v, sink is %v", s.Plan.Sink, p.Net.Sink)
+	}
+	return nil
+}
+
+func almostEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-6*(1+b)
+}
+
+// buildSolution assembles a Solution from chosen candidate indices: order
+// the stops with the TSP engine (sink included as an anchor), rotate the
+// sink first, and assign each sensor to its nearest chosen stop.
+func buildSolution(p *Problem, inst *cover.Instance, chosen []int, opts tsp.Options, algorithm string) *Solution {
+	sensors := p.Net.Positions()
+	// Tour points: index 0 is the sink, 1..k are the stops.
+	pts := make([]geom.Point, 0, len(chosen)+1)
+	pts = append(pts, p.Net.Sink)
+	for _, c := range chosen {
+		pts = append(pts, inst.Candidates[c])
+	}
+	tour := tsp.Solve(pts, opts)
+	tour.RotateTo(0)
+
+	orderedStops := make([]geom.Point, 0, len(chosen))
+	// orderPos[i] = position of chosen[i] in the ordered stop list.
+	orderPos := make([]int, len(chosen))
+	for _, idx := range tour[1:] {
+		orderPos[idx-1] = len(orderedStops)
+		orderedStops = append(orderedStops, pts[idx])
+	}
+	rawAssign := inst.Assign(sensors, chosen)
+	uploadAt := make([]int, len(sensors))
+	for i, a := range rawAssign {
+		if a < 0 {
+			uploadAt[i] = -1
+		} else {
+			uploadAt[i] = orderPos[a]
+		}
+	}
+	plan := &collector.TourPlan{Sink: p.Net.Sink, Stops: orderedStops, UploadAt: uploadAt}
+	return &Solution{
+		Plan:      plan,
+		Length:    plan.Length(),
+		Algorithm: algorithm,
+	}
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+
+	"mobicol/internal/wsn"
+)
+
+func TestAdaptiveMobileDegradation(t *testing.T) {
+	nw := testNet(20)
+	res, err := RunAdaptiveMobile(nw, smallBattery(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstDeath < 0 {
+		t.Fatal("nobody died with a tiny battery")
+	}
+	if res.HalfLife < res.FirstDeath {
+		t.Fatalf("half-life %d before first death %d", res.HalfLife, res.FirstDeath)
+	}
+	if res.ServedAtHalf != 1 {
+		t.Fatalf("re-planned mobile coverage %v, want 1", res.ServedAtHalf)
+	}
+	if res.Replans < 2 {
+		t.Fatalf("expected re-plans after deaths, got %d", res.Replans)
+	}
+}
+
+func TestAdaptiveStaticDegradation(t *testing.T) {
+	nw := testNet(21)
+	res, err := RunAdaptiveStatic(nw, smallBattery(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstDeath < 0 {
+		t.Fatal("nobody died")
+	}
+	if res.ServedAtHalf < 0 || res.ServedAtHalf > 1 {
+		t.Fatalf("coverage %v out of range", res.ServedAtHalf)
+	}
+}
+
+func TestAdaptiveMobileOutlastsStaticToHalfLife(t *testing.T) {
+	// The gap should persist (indeed widen) past the first death: mobile
+	// gathering loses sensors one by one; the static sink's relay core
+	// collapses early.
+	for seed := uint64(22); seed <= 24; seed++ {
+		nw := testNet(seed)
+		mob, err := RunAdaptiveMobile(nw, smallBattery(), 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := RunAdaptiveStatic(nw, smallBattery(), 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mob.HalfLife <= st.HalfLife {
+			t.Fatalf("seed %d: mobile half-life %d not beyond static %d", seed, mob.HalfLife, st.HalfLife)
+		}
+	}
+}
+
+func TestAdaptiveStaticStrandsSurvivors(t *testing.T) {
+	// On a sparse field the static sink's coverage at half-life should
+	// have degraded below 1 (relay deaths strand living sensors).
+	nw := wsn.Deploy(wsn.Config{N: 120, FieldSide: 300, Range: 30, Seed: 25})
+	res, err := RunAdaptiveStatic(nw, smallBattery(), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedAtHalf >= 1 {
+		t.Skip("rare draw: no survivor was stranded")
+	}
+	// Zero is common and meaningful here: the sink-adjacent relay core
+	// carries everyone's packets, so it dies first — and its death
+	// strands every remaining sensor at once.
+	if res.ServedAtHalf < 0 {
+		t.Fatalf("coverage %v negative", res.ServedAtHalf)
+	}
+}
+
+func TestAdaptiveRejectsBadHorizon(t *testing.T) {
+	nw := testNet(26)
+	if _, err := RunAdaptiveMobile(nw, smallBattery(), 0); err == nil {
+		t.Fatal("zero horizon accepted (mobile)")
+	}
+	if _, err := RunAdaptiveStatic(nw, smallBattery(), 0); err == nil {
+		t.Fatal("zero horizon accepted (static)")
+	}
+}
+
+func TestAdaptiveHorizonCap(t *testing.T) {
+	nw := testNet(27)
+	m := smallBattery()
+	m.InitialJ = 1000 // nobody dies in 5 rounds
+	res, err := RunAdaptiveMobile(nw, m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 5 || res.FirstDeath != -1 || res.HalfLife != 5 {
+		t.Fatalf("horizon cap result %+v", res)
+	}
+}

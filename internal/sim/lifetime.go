@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"fmt"
+
+	"mobicol/internal/collector"
+	"mobicol/internal/energy"
+)
+
+// LifetimeResult summarises a lifetime simulation.
+type LifetimeResult struct {
+	Scheme string
+	// Rounds is the network lifetime: gathering rounds completed before
+	// the first sensor death (== MaxRounds when nothing died).
+	Rounds int
+	// Died reports whether any sensor depleted within the horizon.
+	Died bool
+	// Residual summarises the final energy distribution; Std is the
+	// paper's uniformity argument in one number.
+	Residual energy.Stats
+	// AliveFraction is the fraction of sensors alive at the end.
+	AliveFraction float64
+}
+
+// RunLifetime charges scheme rounds against a fresh ledger until the first
+// sensor dies or maxRounds elapse, and returns the summary. The energy
+// model's InitialJ sets the battery size; callers shrink it to keep round
+// counts tractable.
+func RunLifetime(scheme Scheme, n int, model energy.Model, maxRounds int) (*LifetimeResult, error) {
+	if maxRounds <= 0 {
+		return nil, fmt.Errorf("sim: non-positive round horizon %d", maxRounds)
+	}
+	led := energy.NewLedger(n, model)
+	rounds := 0
+	for rounds < maxRounds {
+		scheme.ChargeRound(led)
+		rounds++ // the fatal round still gathered data; count it
+		if led.FirstDeath() >= 0 {
+			break
+		}
+	}
+	res := &LifetimeResult{
+		Scheme:   scheme.Name(),
+		Rounds:   rounds,
+		Died:     led.FirstDeath() >= 0,
+		Residual: led.ResidualStats(),
+	}
+	if n > 0 {
+		res.AliveFraction = float64(led.AliveCount()) / float64(n)
+	} else {
+		res.AliveFraction = 1
+	}
+	return res, nil
+}
+
+// LatencyResult summarises per-round collection latency.
+type LatencyResult struct {
+	Scheme  string
+	Seconds float64
+	TourM   float64
+}
+
+// MeasureLatency evaluates one round's latency under the given collector
+// profile and per-hop relay delay (seconds).
+func MeasureLatency(scheme Scheme, spec collector.Spec, relayDelay float64) *LatencyResult {
+	return &LatencyResult{
+		Scheme:  scheme.Name(),
+		Seconds: scheme.RoundTime(spec, relayDelay),
+		TourM:   scheme.TourLength(),
+	}
+}

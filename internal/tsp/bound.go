@@ -1,0 +1,58 @@
+package tsp
+
+import (
+	"math"
+
+	"mobicol/internal/geom"
+	"mobicol/internal/graph"
+)
+
+// MSTLowerBound returns the weight of the minimum spanning tree over pts,
+// a classic lower bound on the optimal closed tour: deleting any tour edge
+// yields a spanning tree, so OPT >= MST.
+func MSTLowerBound(pts []geom.Point) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	_, w := graph.CompleteEuclideanMST(len(pts), func(i, j int) float64 { return pts[i].Dist(pts[j]) })
+	return w
+}
+
+// OneTreeLowerBound returns the best 1-tree bound over all choices of the
+// special vertex: MST over the other n-1 points plus that vertex's two
+// cheapest edges. The 1-tree bound dominates the plain MST bound and is
+// what the experiment tables report as "LB".
+func OneTreeLowerBound(pts []geom.Point) float64 {
+	n := len(pts)
+	if n < 3 {
+		return MSTLowerBound(pts)
+	}
+	best := 0.0
+	rest := make([]geom.Point, 0, n-1)
+	for special := 0; special < n; special++ {
+		rest = rest[:0]
+		for i, p := range pts {
+			if i != special {
+				rest = append(rest, p)
+			}
+		}
+		_, mst := graph.CompleteEuclideanMST(len(rest), func(i, j int) float64 { return rest[i].Dist(rest[j]) })
+		// Two cheapest edges from the special vertex.
+		e1, e2 := math.Inf(1), math.Inf(1)
+		for i, p := range pts {
+			if i == special {
+				continue
+			}
+			d := pts[special].Dist(p)
+			if d < e1 {
+				e1, e2 = d, e1
+			} else if d < e2 {
+				e2 = d
+			}
+		}
+		if b := mst + e1 + e2; b > best {
+			best = b
+		}
+	}
+	return best
+}

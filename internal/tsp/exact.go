@@ -1,0 +1,203 @@
+package tsp
+
+import (
+	"fmt"
+	"math"
+
+	"mobicol/internal/geom"
+)
+
+// HeldKarpMax is the largest instance HeldKarp accepts: the DP table holds
+// n·2^n float64s, so 18 points cost ~38 MB — the practical ceiling.
+const HeldKarpMax = 18
+
+// HeldKarp solves the TSP exactly by Bellman–Held–Karp dynamic programming
+// in O(n²·2ⁿ) time. It returns the optimal closed tour. Instances larger
+// than HeldKarpMax return an error; use BranchBound or a heuristic instead.
+func HeldKarp(pts []geom.Point) (Tour, error) {
+	n := len(pts)
+	if n > HeldKarpMax {
+		return nil, fmt.Errorf("tsp: HeldKarp limited to %d points, got %d", HeldKarpMax, n)
+	}
+	if n <= 3 {
+		return trivialTour(n), nil
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = pts[i].Dist(pts[j])
+		}
+	}
+	// dp[mask][v]: shortest path visiting exactly the set mask (which must
+	// contain 0 and v), starting at 0 and ending at v.
+	size := 1 << uint(n)
+	dp := make([][]float64, size)
+	parent := make([][]int8, size)
+	for m := range dp {
+		dp[m] = make([]float64, n)
+		parent[m] = make([]int8, n)
+		for v := range dp[m] {
+			dp[m][v] = math.Inf(1)
+			parent[m][v] = -1
+		}
+	}
+	dp[1][0] = 0
+	for mask := 1; mask < size; mask++ {
+		if mask&1 == 0 {
+			continue // every partial path starts at 0
+		}
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) == 0 || math.IsInf(dp[mask][v], 1) {
+				continue
+			}
+			base := dp[mask][v]
+			for w := 1; w < n; w++ {
+				if mask&(1<<uint(w)) != 0 {
+					continue
+				}
+				nm := mask | 1<<uint(w)
+				if nd := base + d[v][w]; nd < dp[nm][w] {
+					dp[nm][w] = nd
+					parent[nm][w] = int8(v)
+				}
+			}
+		}
+	}
+	full := size - 1
+	bestV, best := -1, math.Inf(1)
+	for v := 1; v < n; v++ {
+		if c := dp[full][v] + d[v][0]; c < best {
+			bestV, best = v, c
+		}
+	}
+	// Reconstruct.
+	tour := make(Tour, 0, n)
+	mask, v := full, bestV
+	for v != -1 {
+		tour = append(tour, v)
+		pv := parent[mask][v]
+		mask &^= 1 << uint(v)
+		v = int(pv)
+	}
+	// tour is reversed and ends at 0.
+	for i, j := 0, len(tour)-1; i < j; i, j = i+1, j-1 {
+		tour[i], tour[j] = tour[j], tour[i]
+	}
+	return tour, nil
+}
+
+// BranchBound solves the TSP exactly by depth-first branch and bound with
+// an MST lower bound on the unvisited remainder. maxNodes caps the search
+// (0 means no cap); when the cap trips, the best tour found so far is
+// returned with exact=false.
+func BranchBound(pts []geom.Point, maxNodes int) (tour Tour, exact bool) {
+	n := len(pts)
+	if n <= 3 {
+		return trivialTour(n), true
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = pts[i].Dist(pts[j])
+		}
+	}
+	// Seed the incumbent with a good heuristic tour: tight incumbents
+	// prune far more of the search tree.
+	incumbent := NearestNeighbor(pts, 0)
+	TwoOpt(pts, incumbent)
+	OrOpt(pts, incumbent)
+	bestLen := incumbent.Length(pts)
+	best := incumbent.Clone()
+
+	visited := make([]bool, n)
+	visited[0] = true
+	path := make([]int, 1, n)
+	path[0] = 0
+	nodes := 0
+	exact = true
+
+	// mstBound lower-bounds the cost to complete the path: the MST over
+	// {last} ∪ unvisited ∪ {0} connects everything the remaining tour must.
+	mstBound := func(last int) float64 {
+		var rem []int
+		rem = append(rem, last)
+		for v := 1; v < n; v++ {
+			if !visited[v] {
+				rem = append(rem, v)
+			}
+		}
+		rem = append(rem, 0)
+		// Dense Prim over rem.
+		m := len(rem)
+		inTree := make([]bool, m)
+		bestD := make([]float64, m)
+		for i := range bestD {
+			bestD[i] = math.Inf(1)
+		}
+		bestD[0] = 0
+		total := 0.0
+		for it := 0; it < m; it++ {
+			u, ud := -1, math.Inf(1)
+			for v := 0; v < m; v++ {
+				if !inTree[v] && bestD[v] < ud {
+					u, ud = v, bestD[v]
+				}
+			}
+			inTree[u] = true
+			total += ud
+			for v := 0; v < m; v++ {
+				if !inTree[v] {
+					if w := d[rem[u]][rem[v]]; w < bestD[v] {
+						bestD[v] = w
+					}
+				}
+			}
+		}
+		return total
+	}
+
+	var rec func(last int, length float64)
+	rec = func(last int, length float64) {
+		nodes++
+		if maxNodes > 0 && nodes > maxNodes {
+			exact = false
+			return
+		}
+		if len(path) == n {
+			if total := length + d[last][0]; total < bestLen {
+				bestLen = total
+				best = append(best[:0], path...)
+			}
+			return
+		}
+		if length+mstBound(last) >= bestLen-1e-12 {
+			return
+		}
+		// Branch to unvisited vertices, nearest first.
+		order := make([]int, 0, n)
+		for v := 1; v < n; v++ {
+			if !visited[v] {
+				order = append(order, v)
+			}
+		}
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && d[last][order[j]] < d[last][order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		for _, v := range order {
+			visited[v] = true
+			path = append(path, v)
+			rec(v, length+d[last][v])
+			path = path[:len(path)-1]
+			visited[v] = false
+			if maxNodes > 0 && nodes > maxNodes {
+				return
+			}
+		}
+	}
+	rec(0, 0)
+	return best, exact
+}

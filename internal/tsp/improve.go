@@ -1,0 +1,251 @@
+package tsp
+
+import (
+	"sort"
+
+	"mobicol/internal/geom"
+)
+
+// neighborLists returns, for every point, the indices of its k nearest
+// other points. 2-opt restricted to near neighbours finds almost all the
+// improving moves of the full quadratic scan at a fraction of the cost.
+func neighborLists(pts []geom.Point, k int) [][]int {
+	n := len(pts)
+	if k >= n {
+		k = n - 1
+	}
+	lists := make([][]int, n)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < n; i++ {
+		// Exclude i explicitly: with coincident points a distance-0 tie
+		// could otherwise leave i inside its own list.
+		cand := make([]int, 0, n-1)
+		for _, j := range idx {
+			if j != i {
+				cand = append(cand, j)
+			}
+		}
+		sort.Slice(cand, func(a, b int) bool {
+			return pts[cand[a]].Dist2(pts[i]) < pts[cand[b]].Dist2(pts[i])
+		})
+		lists[i] = cand[:k]
+	}
+	return lists
+}
+
+// TwoOpt improves tour in place with 2-opt moves (reverse a segment when
+// doing so shortens the tour), restricted to candidate edges between near
+// neighbours and accelerated with don't-look bits. It returns the number
+// of improving moves applied.
+func TwoOpt(pts []geom.Point, tour Tour) int {
+	n := len(tour)
+	if n < 4 {
+		return 0
+	}
+	k := 12
+	neigh := neighborLists(pts, k)
+	pos := make([]int, n) // point -> position in tour
+	for i, v := range tour {
+		pos[v] = i
+	}
+	dontLook := make([]bool, n)
+	queue := make([]int, n)
+	copy(queue, tour)
+	moves := 0
+	d := func(a, b int) float64 { return pts[a].Dist(pts[b]) }
+	succ := func(i int) int { return tour[(pos[i]+1)%n] }
+	pred := func(i int) int { return tour[(pos[i]-1+n)%n] }
+
+	reverse := func(i, j int) {
+		// Reverse tour positions i..j (inclusive, i<j).
+		for i < j {
+			tour[i], tour[j] = tour[j], tour[i]
+			pos[tour[i]], pos[tour[j]] = i, j
+			i++
+			j--
+		}
+	}
+
+	improveAt := func(a int) bool {
+		// Try 2-opt moves removing edge (a, succ(a)) or (pred(a), a).
+		for _, dir := range [2]bool{true, false} {
+			var b int
+			if dir {
+				b = succ(a)
+			} else {
+				b = pred(a)
+			}
+			dab := d(a, b)
+			for _, c := range neigh[a] {
+				dac := d(a, c)
+				if dac >= dab {
+					break // neighbours sorted: no closer candidate remains
+				}
+				var e int
+				if dir {
+					e = succ(c)
+				} else {
+					e = pred(c)
+				}
+				if c == a || c == b || e == a {
+					continue
+				}
+				// Replace edges (a,b) and (c,e) with (a,c) and (b,e).
+				if dab+d(c, e) > dac+d(b, e)+1e-12 {
+					// A 2-opt move reverses one of the two arcs between
+					// the removed edges; pick the one that does not wrap
+					// around the array boundary. In the successor
+					// direction the removed edges are (a→b) and (c→e);
+					// in the predecessor direction, (b→a) and (e→c).
+					var i, j int
+					if dir {
+						if pos[b] <= pos[c] {
+							i, j = pos[b], pos[c]
+						} else {
+							i, j = pos[e], pos[a]
+						}
+					} else {
+						if pos[a] <= pos[e] {
+							i, j = pos[a], pos[e]
+						} else {
+							i, j = pos[c], pos[b]
+						}
+					}
+					if i >= j {
+						continue // degenerate: would be a no-op, not a gain
+					}
+					reverse(i, j)
+					for _, v := range [4]int{a, b, c, e} {
+						if dontLook[v] {
+							dontLook[v] = false
+							queue = append(queue, v)
+						}
+					}
+					moves++
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		if dontLook[a] {
+			continue
+		}
+		if improveAt(a) {
+			queue = append(queue, a)
+		} else {
+			dontLook[a] = true
+		}
+	}
+	return moves
+}
+
+// OrOpt improves tour in place by relocating chains of 1–3 consecutive
+// stops to a better position (possibly reversed). It returns the number of
+// improving moves applied. Run it after TwoOpt: the two neighbourhoods are
+// complementary.
+func OrOpt(pts []geom.Point, tour Tour) int {
+	n := len(tour)
+	if n < 5 {
+		return 0
+	}
+	d := func(a, b int) float64 { return pts[a].Dist(pts[b]) }
+	moves := 0
+	improved := true
+	for improved {
+		improved = false
+		for segLen := 1; segLen <= 3; segLen++ {
+			for i := 0; i < n; i++ {
+				// Segment occupies positions i..i+segLen-1 (mod n).
+				if segLen >= n-2 {
+					continue
+				}
+				p0 := tour[(i-1+n)%n]      // before segment
+				s0 := tour[i]              // segment head
+				s1 := tour[(i+segLen-1)%n] // segment tail
+				p1 := tour[(i+segLen)%n]   // after segment
+				removed := d(p0, s0) + d(s1, p1) - d(p0, p1)
+				if removed <= 1e-12 {
+					continue
+				}
+				// Try inserting between every other consecutive pair.
+				for j := 0; j < n; j++ {
+					// Skip positions inside or adjacent to the segment.
+					if within(i, segLen, j, n) || (j+1)%n == i {
+						continue
+					}
+					a, b := tour[j], tour[(j+1)%n]
+					forward := d(a, s0) + d(s1, b) - d(a, b)
+					backward := d(a, s1) + d(s0, b) - d(a, b)
+					rev := backward < forward
+					added := forward
+					if rev {
+						added = backward
+					}
+					if added < removed-1e-12 {
+						relocate(tour, i, segLen, j, rev)
+						moves++
+						improved = true
+						break
+					}
+				}
+				if improved {
+					break
+				}
+			}
+			if improved {
+				break
+			}
+		}
+	}
+	return moves
+}
+
+// within reports whether tour position j lies inside the segment starting
+// at position i with the given length (mod n).
+func within(i, segLen, j, n int) bool {
+	for k := 0; k < segLen; k++ {
+		if (i+k)%n == j {
+			return true
+		}
+	}
+	return false
+}
+
+// relocate moves the segment of segLen stops starting at position i to
+// just after position j, optionally reversing it. It rebuilds the tour by
+// value: remove the segment, then splice it back in after the stop that
+// was at position j.
+func relocate(tour Tour, i, segLen, j int, rev bool) {
+	n := len(tour)
+	seg := make([]int, segLen)
+	inSeg := make(map[int]bool, segLen)
+	for k := 0; k < segLen; k++ {
+		seg[k] = tour[(i+k)%n]
+		inSeg[seg[k]] = true
+	}
+	if rev {
+		for a, b := 0, segLen-1; a < b; a, b = a+1, b-1 {
+			seg[a], seg[b] = seg[b], seg[a]
+		}
+	}
+	anchor := tour[j]
+	out := make(Tour, 0, n)
+	for _, v := range tour {
+		if inSeg[v] {
+			continue
+		}
+		out = append(out, v)
+		if v == anchor {
+			out = append(out, seg...)
+		}
+	}
+	copy(tour, out)
+}

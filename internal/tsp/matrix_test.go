@@ -1,0 +1,160 @@
+package tsp
+
+import (
+	"math"
+	"testing"
+
+	"mobicol/internal/geom"
+	"mobicol/internal/rng"
+)
+
+// euclidMatrix builds the distance matrix of pts.
+func euclidMatrix(pts []geom.Point) [][]float64 {
+	n := len(pts)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = pts[i].Dist(pts[j])
+		}
+	}
+	return m
+}
+
+func TestSolveMatrixMatchesEuclideanQuality(t *testing.T) {
+	s := rng.New(70)
+	for trial := 0; trial < 10; trial++ {
+		pts := randPts(s, 6+s.Intn(8), 100)
+		m := euclidMatrix(pts)
+		tour, err := SolveMatrix(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tour.Validate(len(pts)); err != nil {
+			t.Fatal(err)
+		}
+		opt, err := HeldKarp(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := MatrixLength(m, tour)
+		want := opt.Length(pts)
+		if got < want-1e-9 {
+			t.Fatalf("matrix tour %v beat the optimum %v: impossible", got, want)
+		}
+		if got > want*1.15 {
+			t.Fatalf("matrix tour %v more than 15%% above optimum %v", got, want)
+		}
+	}
+}
+
+func TestSolveMatrixAgreesWithTourLength(t *testing.T) {
+	s := rng.New(71)
+	pts := randPts(s, 30, 150)
+	m := euclidMatrix(pts)
+	tour, err := SolveMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(MatrixLength(m, tour)-tour.Length(pts)) > 1e-9 {
+		t.Fatal("MatrixLength disagrees with Euclidean Length on a Euclidean matrix")
+	}
+}
+
+func TestSolveMatrixNonEuclidean(t *testing.T) {
+	// A metric the planner actually uses: shortest-path detours make some
+	// pairs "farther" than their straight line. 4 points on a line with
+	// an inflated middle edge.
+	m := [][]float64{
+		{0, 1, 10, 11},
+		{1, 0, 9, 10},
+		{10, 9, 0, 1},
+		{11, 10, 1, 0},
+	}
+	tour, err := SolveMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tour.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	// Optimal closed tour: 0-1-2-3-0 = 1+9+1+11 = 22.
+	if got := MatrixLength(m, tour); math.Abs(got-22) > 1e-9 {
+		t.Fatalf("length %v, want 22", got)
+	}
+}
+
+func TestSolveMatrixDegenerate(t *testing.T) {
+	for n := 0; n <= 3; n++ {
+		m := make([][]float64, n)
+		for i := range m {
+			m[i] = make([]float64, n)
+		}
+		tour, err := SolveMatrix(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tour) != n {
+			t.Fatalf("n=%d: tour %v", n, tour)
+		}
+	}
+}
+
+func TestSolveMatrixRejectsRagged(t *testing.T) {
+	if _, err := SolveMatrix([][]float64{{0, 1}, {1}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+func TestSolveMatrixUnreachablePairs(t *testing.T) {
+	inf := math.Inf(1)
+	m := [][]float64{
+		{0, 1, inf, inf},
+		{1, 0, inf, inf},
+		{inf, inf, 0, 1},
+		{inf, inf, 1, 0},
+	}
+	tour, err := SolveMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tour.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(MatrixLength(m, tour), 1) {
+		t.Fatal("disconnected metric should yield infinite tour length")
+	}
+}
+
+func TestMatrixLengthDegenerate(t *testing.T) {
+	if MatrixLength(nil, Tour{}) != 0 {
+		t.Fatal("empty matrix length")
+	}
+	if MatrixLength([][]float64{{0}}, Tour{0}) != 0 {
+		t.Fatal("singleton matrix length")
+	}
+}
+
+func TestTourPoints(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)}
+	got := (Tour{2, 0, 1}).Points(pts)
+	if !got[0].Eq(pts[2]) || !got[1].Eq(pts[0]) || !got[2].Eq(pts[1]) {
+		t.Fatalf("Points = %v", got)
+	}
+}
+
+func TestConstructionString(t *testing.T) {
+	names := map[Construction]string{
+		ConstructNN:         "nearest-neighbor",
+		ConstructGreedy:     "greedy-edge",
+		ConstructCheapest:   "cheapest-insertion",
+		ConstructHull:       "hull-insertion",
+		ConstructDoubleTree: "double-tree",
+		Construction(99):    "Construction(99)",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Fatalf("%d.String() = %q", int(c), c.String())
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package tsp
+
+import (
+	"testing"
+
+	"mobicol/internal/rng"
+)
+
+func TestSolveBestNeverWorseThanSolve(t *testing.T) {
+	s := rng.New(62)
+	for trial := 0; trial < 10; trial++ {
+		pts := randPts(s, 10+s.Intn(80), 200)
+		opts := DefaultOptions()
+		single := Solve(pts, opts).Length(pts)
+		multi := SolveBest(pts, opts, 5, 7).Length(pts)
+		if multi > single+1e-9 {
+			t.Fatalf("multi-start %.3f worse than single %.3f", multi, single)
+		}
+	}
+}
+
+func TestSolveBestValid(t *testing.T) {
+	s := rng.New(63)
+	for _, n := range []int{1, 4, 5, 30, 100} {
+		pts := randPts(s, n, 150)
+		tour := SolveBest(pts, DefaultOptions(), 4, 1)
+		if err := tour.Validate(n); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestPerturbPreservesPermutation(t *testing.T) {
+	s := rng.New(64)
+	for trial := 0; trial < 50; trial++ {
+		n := 8 + s.Intn(100)
+		tour := make(Tour, n)
+		for i := range tour {
+			tour[i] = i
+		}
+		Perturb(tour, s)
+		if err := tour.Validate(n); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestPerturbChangesTour(t *testing.T) {
+	s := rng.New(65)
+	tour := make(Tour, 30)
+	for i := range tour {
+		tour[i] = i
+	}
+	orig := tour.Clone()
+	Perturb(tour, s)
+	same := true
+	for i := range tour {
+		if tour[i] != orig[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("double bridge left the tour unchanged")
+	}
+}
+
+func TestPerturbSmallTourNoop(t *testing.T) {
+	tour := Tour{0, 1, 2, 3, 4}
+	orig := tour.Clone()
+	Perturb(tour, rng.New(1))
+	for i := range tour {
+		if tour[i] != orig[i] {
+			t.Fatal("small tour mutated")
+		}
+	}
+}
+
+func TestSolveILSNeverWorseThanSolve(t *testing.T) {
+	s := rng.New(66)
+	for trial := 0; trial < 5; trial++ {
+		pts := randPts(s, 30+s.Intn(60), 200)
+		opts := DefaultOptions()
+		base := Solve(pts, opts).Length(pts)
+		ils := SolveILS(pts, opts, 10, 3)
+		if err := ils.Validate(len(pts)); err != nil {
+			t.Fatal(err)
+		}
+		if ils.Length(pts) > base+1e-9 {
+			t.Fatalf("ILS %.3f worse than base %.3f", ils.Length(pts), base)
+		}
+	}
+}
+
+func TestSolveILSFindsOptimumSmall(t *testing.T) {
+	s := rng.New(67)
+	pts := randPts(s, 14, 100)
+	opt, err := HeldKarp(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ils := SolveILS(pts, Options{Construction: ConstructNN, TwoOpt: true, OrOpt: true}, 50, 9)
+	// ILS should land within 2% of optimum on 14 points.
+	if ils.Length(pts) > opt.Length(pts)*1.02 {
+		t.Fatalf("ILS %.3f vs optimum %.3f", ils.Length(pts), opt.Length(pts))
+	}
+}

@@ -1,0 +1,101 @@
+package tsp
+
+import (
+	"fmt"
+
+	"mobicol/internal/geom"
+)
+
+// Construction selects the tour-construction heuristic.
+type Construction int
+
+const (
+	// ConstructNN is nearest neighbour from point 0.
+	ConstructNN Construction = iota
+	// ConstructGreedy is greedy-edge matching.
+	ConstructGreedy
+	// ConstructCheapest is cheapest insertion.
+	ConstructCheapest
+	// ConstructHull is convex-hull + cheapest insertion.
+	ConstructHull
+	// ConstructDoubleTree is the MST 2-approximation.
+	ConstructDoubleTree
+	// ConstructChristofides is MST + odd-vertex matching + Euler walk.
+	ConstructChristofides
+)
+
+// String names the construction.
+func (c Construction) String() string {
+	switch c {
+	case ConstructNN:
+		return "nearest-neighbor"
+	case ConstructGreedy:
+		return "greedy-edge"
+	case ConstructCheapest:
+		return "cheapest-insertion"
+	case ConstructHull:
+		return "hull-insertion"
+	case ConstructDoubleTree:
+		return "double-tree"
+	case ConstructChristofides:
+		return "christofides"
+	default:
+		return fmt.Sprintf("Construction(%d)", int(c))
+	}
+}
+
+// Options configures Solve.
+type Options struct {
+	Construction Construction
+	TwoOpt       bool // run 2-opt local search
+	OrOpt        bool // run Or-opt local search (after 2-opt)
+	ExactBelow   int  // use Held–Karp when n <= ExactBelow (and <= HeldKarpMax)
+}
+
+// DefaultOptions is the configuration the planners use: greedy-edge
+// construction, both local searches, exact solving for tiny instances.
+func DefaultOptions() Options {
+	return Options{Construction: ConstructGreedy, TwoOpt: true, OrOpt: true, ExactBelow: 12}
+}
+
+// Solve returns a closed tour over pts according to opts.
+func Solve(pts []geom.Point, opts Options) Tour {
+	n := len(pts)
+	if n <= 3 {
+		return trivialTour(n)
+	}
+	if opts.ExactBelow > 0 && n <= opts.ExactBelow && n <= HeldKarpMax {
+		if t, err := HeldKarp(pts); err == nil {
+			return t
+		}
+	}
+	var t Tour
+	switch opts.Construction {
+	case ConstructNN:
+		t = NearestNeighbor(pts, 0)
+	case ConstructGreedy:
+		t = GreedyEdge(pts)
+	case ConstructCheapest:
+		t = CheapestInsertion(pts)
+	case ConstructHull:
+		t = HullInsertion(pts)
+	case ConstructDoubleTree:
+		t = DoubleTree(pts)
+	case ConstructChristofides:
+		t = Christofides(pts)
+	default:
+		panic(fmt.Sprintf("tsp: unknown construction %v", opts.Construction))
+	}
+	if opts.TwoOpt {
+		TwoOpt(pts, t)
+	}
+	if opts.OrOpt {
+		OrOpt(pts, t)
+		if opts.TwoOpt {
+			// Or-opt moves can open new 2-opt improvements; one more
+			// pass is cheap and usually closes them.
+			TwoOpt(pts, t)
+		}
+	}
+	return t
+}

@@ -1,0 +1,93 @@
+// Package tsp implements the travelling-salesman engine used to turn a set
+// of polling points into a short closed data-gathering tour. It offers
+// five construction heuristics, 2-opt and Or-opt local search, exact
+// solvers for small instances (Held–Karp dynamic programming and an
+// MST-bounded branch & bound), and spanning-tree / one-tree lower bounds.
+//
+// All tours are closed (the collector returns to the sink). A tour is a
+// permutation of point indices; its length includes the final edge back to
+// the first point.
+package tsp
+
+import (
+	"fmt"
+
+	"mobicol/internal/geom"
+)
+
+// Tour is an ordering of the points [0, n). The tour is closed: after the
+// last index the collector returns to the first.
+type Tour []int
+
+// Length returns the closed tour length over pts.
+func (t Tour) Length(pts []geom.Point) float64 {
+	if len(t) < 2 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < len(t); i++ {
+		j := (i + 1) % len(t)
+		total += pts[t[i]].Dist(pts[t[j]])
+	}
+	return total
+}
+
+// Points materialises the tour as the visited point sequence.
+func (t Tour) Points(pts []geom.Point) []geom.Point {
+	out := make([]geom.Point, len(t))
+	for i, idx := range t {
+		out[i] = pts[idx]
+	}
+	return out
+}
+
+// Validate checks that t is a permutation of [0, n).
+func (t Tour) Validate(n int) error {
+	if len(t) != n {
+		return fmt.Errorf("tsp: tour has %d stops, want %d", len(t), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range t {
+		if v < 0 || v >= n {
+			return fmt.Errorf("tsp: tour index %d out of range [0,%d)", v, n)
+		}
+		if seen[v] {
+			return fmt.Errorf("tsp: tour visits %d twice", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Clone returns an independent copy of t.
+func (t Tour) Clone() Tour { return append(Tour(nil), t...) }
+
+// RotateTo rotates the tour in place so that it begins at the stop with
+// index start. Closed-tour length is rotation invariant; the collector
+// conventionally departs from the sink, so planners rotate the sink first.
+func (t Tour) RotateTo(start int) {
+	pos := -1
+	for i, v := range t {
+		if v == start {
+			pos = i
+			break
+		}
+	}
+	if pos <= 0 {
+		return
+	}
+	rotated := make(Tour, 0, len(t))
+	rotated = append(rotated, t[pos:]...)
+	rotated = append(rotated, t[:pos]...)
+	copy(t, rotated)
+}
+
+// trivialTour returns the identity ordering for n points, handling the
+// degenerate sizes every solver must accept.
+func trivialTour(n int) Tour {
+	t := make(Tour, n)
+	for i := range t {
+		t[i] = i
+	}
+	return t
+}

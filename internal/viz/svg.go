@@ -1,0 +1,105 @@
+// Package viz renders deployments, covers, and tours to SVG using only the
+// standard library. cmd/mdgplan uses it so a planned tour can be inspected
+// visually, mirroring the figures in the paper.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mobicol/internal/collector"
+	"mobicol/internal/geom"
+	"mobicol/internal/wsn"
+)
+
+// Style configures rendering.
+type Style struct {
+	Scale       float64 // pixels per metre (default 3)
+	Margin      float64 // margin in metres (default 10)
+	ShowRanges  bool    // draw stop coverage disks
+	SensorColor string
+	StopColor   string
+	TourColor   string
+	SinkColor   string
+}
+
+// DefaultStyle returns the default palette.
+func DefaultStyle() Style {
+	return Style{
+		Scale:       3,
+		Margin:      10,
+		ShowRanges:  true,
+		SensorColor: "#4477aa",
+		StopColor:   "#cc3311",
+		TourColor:   "#cc3311",
+		SinkColor:   "#228833",
+	}
+}
+
+// RenderTour writes an SVG of the network and (optionally nil) tour plan.
+func RenderTour(w io.Writer, nw *wsn.Network, plan *collector.TourPlan, st Style) error {
+	if st.Scale <= 0 {
+		st = DefaultStyle()
+	}
+	f := nw.Field.Expand(st.Margin)
+	px := func(p geom.Point) (float64, float64) {
+		// SVG y grows downward; flip so the field reads like the paper's
+		// figures.
+		return (p.X - f.Min.X) * st.Scale, (f.Max.Y - p.Y) * st.Scale
+	}
+	var b strings.Builder
+	wpx, hpx := f.Width()*st.Scale, f.Height()*st.Scale
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", wpx, hpx, wpx, hpx)
+	fmt.Fprintf(&b, `<rect width="%.0f" height="%.0f" fill="#ffffff"/>`+"\n", wpx, hpx)
+
+	// Field border.
+	x0, y0 := px(geom.Pt(nw.Field.Min.X, nw.Field.Max.Y))
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#bbbbbb"/>`+"\n",
+		x0, y0, nw.Field.Width()*st.Scale, nw.Field.Height()*st.Scale)
+
+	if plan != nil {
+		// Coverage disks behind everything else.
+		if st.ShowRanges {
+			for _, s := range plan.Stops {
+				cx, cy := px(s)
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" fill-opacity="0.07" stroke="none"/>`+"\n",
+					cx, cy, nw.Range*st.Scale, st.StopColor)
+			}
+		}
+		// Tour polyline: sink -> stops -> sink.
+		pts := append([]geom.Point{plan.Sink}, plan.Stops...)
+		pts = append(pts, plan.Sink)
+		var poly strings.Builder
+		for i, p := range pts {
+			cx, cy := px(p)
+			if i > 0 {
+				poly.WriteByte(' ')
+			}
+			fmt.Fprintf(&poly, "%.1f,%.1f", cx, cy)
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n", poly.String(), st.TourColor)
+		// Upload assignments as faint spokes.
+		for i, sIdx := range plan.UploadAt {
+			if sIdx < 0 {
+				continue
+			}
+			ax, ay := px(nw.Nodes[i].Pos)
+			bx, by := px(plan.Stops[sIdx])
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#999999" stroke-width="0.4"/>`+"\n", ax, ay, bx, by)
+		}
+		for _, s := range plan.Stops {
+			cx, cy := px(s)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="6" height="6" fill="%s"/>`+"\n", cx-3, cy-3, st.StopColor)
+		}
+	}
+	for _, node := range nw.Nodes {
+		cx, cy := px(node.Pos)
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.2" fill="%s"/>`+"\n", cx, cy, st.SensorColor)
+	}
+	sx, sy := px(nw.Sink)
+	fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="5" fill="%s" stroke="#000000"/>`+"\n", sx, sy, st.SinkColor)
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,49 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mobicol/internal/shdgp"
+	"mobicol/internal/wsn"
+)
+
+func TestRenderTourWellFormed(t *testing.T) {
+	nw := wsn.Deploy(wsn.Config{N: 60, FieldSide: 150, Range: 25, Seed: 2})
+	sol, err := shdgp.Plan(shdgp.NewProblem(nw), shdgp.DefaultPlannerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderTour(&buf, nw, sol.Plan, DefaultStyle()); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("output is not an SVG document")
+	}
+	if got := strings.Count(svg, "<circle"); got < nw.N()+1 { // sensors + sink
+		t.Fatalf("only %d circles for %d sensors", got, nw.N())
+	}
+	if !strings.Contains(svg, "<polyline") {
+		t.Fatal("tour polyline missing")
+	}
+	if strings.Count(svg, "<rect") < sol.Stops() {
+		t.Fatal("stop markers missing")
+	}
+}
+
+func TestRenderTourNilPlan(t *testing.T) {
+	nw := wsn.Deploy(wsn.Config{N: 20, FieldSide: 100, Range: 25, Seed: 3})
+	var buf bytes.Buffer
+	if err := RenderTour(&buf, nw, nil, Style{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<circle") {
+		t.Fatal("sensors not rendered without a plan")
+	}
+	if strings.Contains(buf.String(), "<polyline") {
+		t.Fatal("polyline rendered without a plan")
+	}
+}
