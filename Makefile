@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race lint vet fmt bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# mdglint is this repo's own static-analysis suite (cmd/mdglint):
+# determinism, float-equality, panic, discarded-error, and global-state
+# checks. CI runs it; `make lint` reproduces the gate locally.
+lint:
+	$(GO) run ./cmd/mdglint ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# check mirrors the CI pipeline end to end.
+check: build vet lint test race

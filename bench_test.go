@@ -98,7 +98,7 @@ func BenchmarkE15Adaptive(b *testing.B) { runExperiment(b, "E15", 0, 2, "rounds"
 // BenchmarkPlannerOnly isolates the heuristic planner itself (no sweep):
 // one 200-sensor plan per iteration.
 func BenchmarkPlannerOnly(b *testing.B) {
-	nw := Deploy(DeployConfig{N: 200, FieldSide: 200, Range: 30, Seed: 1})
+	nw := MustDeploy(DeployConfig{N: 200, FieldSide: 200, Range: 30, Seed: 1})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

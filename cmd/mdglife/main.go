@@ -47,6 +47,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		//mdglint:ignore errcheck input file is read-only; a close failure cannot lose data
 		defer f.Close()
 		in = f
 	}

@@ -1,0 +1,60 @@
+// Command mdglint runs the repository's static-analysis suite: the
+// determinism, floateq, nopanic, errcheck, and globalvar analyzers from
+// internal/lint over every package in the module.
+//
+// Usage:
+//
+//	go run ./cmd/mdglint ./...
+//
+// Any package-pattern arguments are accepted for familiarity but the tool
+// always lints the whole module containing the working directory — the
+// quality gate is all-or-nothing. It prints one `file:line: analyzer:
+// message` per finding and exits 1 when any survive their suppressions
+// (`//mdglint:ignore <analyzer> <reason>`), 2 on load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobicol/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mdglint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Lints the whole module around the working directory.\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdglint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadModule(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdglint:", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, lint.Analyzers())
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "mdglint: %d finding(s) across %d package(s)\n", n, len(pkgs))
+		os.Exit(1)
+	}
+}

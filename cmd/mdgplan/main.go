@@ -55,6 +55,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		//mdglint:ignore errcheck input file is read-only; a close failure cannot lose data
 		defer f.Close()
 		in = f
 	}
@@ -145,8 +146,12 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		if err := viz.RenderTour(f, nw, plan, viz.DefaultStyle()); err != nil {
+			_ = f.Close() // already failing; the render error is the one to report
+			return err
+		}
+		// Close errors on the output file are real data loss: report them.
+		if err := f.Close(); err != nil {
 			return err
 		}
 		fmt.Printf("svg:        %s\n", *svgPath)
@@ -156,8 +161,12 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		if err := plan.WriteJSON(f); err != nil {
+			_ = f.Close() // already failing; the write error is the one to report
+			return err
+		}
+		// Close errors on the output file are real data loss: report them.
+		if err := f.Close(); err != nil {
 			return err
 		}
 		fmt.Printf("json:       %s\n", *jsonPath)
@@ -172,6 +181,7 @@ func runObstacles(nw *wsn.Network, obstPath, svgPath string, speed float64) erro
 	if err != nil {
 		return err
 	}
+	//mdglint:ignore errcheck input file is read-only; a close failure cannot lose data
 	defer f.Close()
 	course, err := obstacle.ReadJSON(f)
 	if err != nil {
@@ -193,8 +203,12 @@ func runObstacles(nw *wsn.Network, obstPath, svgPath string, speed float64) erro
 		if err != nil {
 			return err
 		}
-		defer out.Close()
 		if err := viz.RenderObstacleTour(out, nw, course, tour, viz.DefaultStyle()); err != nil {
+			_ = out.Close() // already failing; the render error is the one to report
+			return err
+		}
+		// Close errors on the output file are real data loss: report them.
+		if err := out.Close(); err != nil {
 			return err
 		}
 		fmt.Printf("svg:        %s\n", svgPath)

@@ -52,6 +52,7 @@ func main() {
 		Placement: pl, Clusters: *clusters, SinkAtCorner: *corner,
 	}
 	var nw *wsn.Network
+	var err error
 	if *obstPath != "" {
 		f, err := os.Open(*obstPath)
 		if err != nil {
@@ -59,14 +60,23 @@ func main() {
 			os.Exit(1)
 		}
 		course, err := obstacle.ReadJSON(f)
-		f.Close()
+		// The file was only read; a close failure cannot lose data.
+		_ = f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wsngen: %v\n", err)
 			os.Exit(1)
 		}
-		nw = obstacle.DeployAround(cfg, course)
+		nw, err = obstacle.DeployAround(cfg, course)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsngen: %v\n", err)
+			os.Exit(1)
+		}
 	} else {
-		nw = wsn.Deploy(cfg)
+		nw, err = wsn.Deploy(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsngen: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	w := os.Stdout
@@ -76,12 +86,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wsngen: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := nw.WriteJSON(w); err != nil {
 		fmt.Fprintf(os.Stderr, "wsngen: %v\n", err)
 		os.Exit(1)
+	}
+	if w != os.Stdout {
+		// Close errors on the output file are real data loss: report them.
+		if err := w.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "wsngen: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "wsngen: %v, avg degree %.1f, %d component(s)\n",
 		nw, nw.AvgDegree(), len(nw.Components()))

@@ -13,9 +13,12 @@ import (
 )
 
 func main() {
-	nw := mobicol.Deploy(mobicol.DeployConfig{
+	nw, err := mobicol.Deploy(mobicol.DeployConfig{
 		N: 150, FieldSide: 200, Range: 30, Seed: 21,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	spec := mobicol.DefaultCollectorSpec()
 
 	// Unconstrained plan first: how big do the buffers actually get?

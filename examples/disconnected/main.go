@@ -14,10 +14,13 @@ import (
 func main() {
 	// Four sensor clusters spread over a 500 m field with a 25 m range:
 	// almost always several disconnected components.
-	nw := mobicol.Deploy(mobicol.DeployConfig{
+	nw, err := mobicol.Deploy(mobicol.DeployConfig{
 		N: 120, FieldSide: 500, Range: 25, Seed: 5,
 		Placement: mobicol.Clustered, Clusters: 4,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	comps := nw.Components()
 	fmt.Printf("%v\n%d connected component(s)\n\n", nw, len(comps))
 

@@ -12,9 +12,12 @@ import (
 )
 
 func main() {
-	nw := mobicol.Deploy(mobicol.DeployConfig{
+	nw, err := mobicol.Deploy(mobicol.DeployConfig{
 		N: 200, FieldSide: 200, Range: 30, Seed: 11,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	sol, err := mobicol.PlanTour(nw)
 	if err != nil {
 		log.Fatal(err)

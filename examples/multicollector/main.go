@@ -13,9 +13,12 @@ import (
 
 func main() {
 	// A larger, sparser field: a single collector's tour takes too long.
-	nw := mobicol.Deploy(mobicol.DeployConfig{
+	nw, err := mobicol.Deploy(mobicol.DeployConfig{
 		N: 300, FieldSide: 400, Range: 30, Seed: 7,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	sol, err := mobicol.PlanTour(nw)
 	if err != nil {
 		log.Fatal(err)

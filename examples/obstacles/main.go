@@ -23,8 +23,11 @@ func main() {
 		log.Fatal(err)
 	}
 	// Sensors deploy around the buildings (nobody mounts a sensor inside).
-	nw := mobicol.DeployAroundObstacles(
+	nw, err := mobicol.DeployAroundObstacles(
 		mobicol.DeployConfig{N: 150, FieldSide: 200, Range: 30, Seed: 33}, course)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	tour, err := mobicol.PlanTourAround(nw, course)
 	if err != nil {

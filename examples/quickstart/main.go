@@ -13,9 +13,12 @@ import (
 func main() {
 	// 200 sensors scattered uniformly over a 200 m × 200 m field, sink at
 	// the centre, 30 m transmission range — the paper's canonical setup.
-	nw := mobicol.Deploy(mobicol.DeployConfig{
+	nw, err := mobicol.Deploy(mobicol.DeployConfig{
 		N: 200, FieldSide: 200, Range: 30, Seed: 42,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println(nw)
 
 	// Plan the SHDGP tour: stops are chosen so every sensor uploads in a

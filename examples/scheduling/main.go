@@ -13,7 +13,10 @@ import (
 )
 
 func main() {
-	nw := mobicol.Deploy(mobicol.DeployConfig{N: 120, FieldSide: 200, Range: 30, Seed: 55})
+	nw, err := mobicol.Deploy(mobicol.DeployConfig{N: 120, FieldSide: 200, Range: 30, Seed: 55})
+	if err != nil {
+		log.Fatal(err)
+	}
 	sol, err := mobicol.PlanTour(nw)
 	if err != nil {
 		log.Fatal(err)

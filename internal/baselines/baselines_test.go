@@ -10,7 +10,7 @@ import (
 
 func TestPlanCLACoversAllSensors(t *testing.T) {
 	for seed := uint64(0); seed < 10; seed++ {
-		nw := wsn.Deploy(wsn.Config{N: 150, FieldSide: 200, Range: 30, Seed: seed})
+		nw := wsn.MustDeploy(wsn.Config{N: 150, FieldSide: 200, Range: 30, Seed: seed})
 		plan, err := PlanCLA(nw)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
@@ -29,7 +29,7 @@ func TestPlanCLACoversAllSensors(t *testing.T) {
 }
 
 func TestCLAStopsOnLines(t *testing.T) {
-	nw := wsn.Deploy(wsn.Config{N: 80, FieldSide: 150, Range: 25, Seed: 3})
+	nw := wsn.MustDeploy(wsn.Config{N: 80, FieldSide: 150, Range: 25, Seed: 3})
 	plan, err := PlanCLA(nw)
 	if err != nil {
 		t.Fatal(err)
@@ -52,7 +52,7 @@ func TestCLAStopsOnLines(t *testing.T) {
 func TestCLATourLongerThanFieldWidthTimesLines(t *testing.T) {
 	// With a dense uniform deployment, each occupied line spans nearly the
 	// whole field, so the tour must be at least (#lines - small) * width.
-	nw := wsn.Deploy(wsn.Config{N: 400, FieldSide: 200, Range: 25, Seed: 4})
+	nw := wsn.MustDeploy(wsn.Config{N: 400, FieldSide: 200, Range: 25, Seed: 4})
 	plan, err := PlanCLA(nw)
 	if err != nil {
 		t.Fatal(err)
@@ -117,8 +117,8 @@ func TestStraightLineLoads(t *testing.T) {
 }
 
 func TestStraightLineTourLengthIndependentOfDeployment(t *testing.T) {
-	a := wsn.Deploy(wsn.Config{N: 50, FieldSide: 200, Range: 30, Seed: 1})
-	b := wsn.Deploy(wsn.Config{N: 500, FieldSide: 200, Range: 30, Seed: 2})
+	a := wsn.MustDeploy(wsn.Config{N: 50, FieldSide: 200, Range: 30, Seed: 1})
+	b := wsn.MustDeploy(wsn.Config{N: 500, FieldSide: 200, Range: 30, Seed: 2})
 	pa, err := PlanStraightLine(a, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -136,7 +136,7 @@ func TestStraightLineTourLengthIndependentOfDeployment(t *testing.T) {
 }
 
 func TestStraightLineMoreTracksMoreCoverage(t *testing.T) {
-	nw := wsn.Deploy(wsn.Config{N: 200, FieldSide: 400, Range: 25, Seed: 9})
+	nw := wsn.MustDeploy(wsn.Config{N: 200, FieldSide: 400, Range: 25, Seed: 9})
 	p1, err := PlanStraightLine(nw, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -170,7 +170,7 @@ func TestStraightLineAllStranded(t *testing.T) {
 }
 
 func TestStraightLineRejectsBadArgs(t *testing.T) {
-	nw := wsn.Deploy(wsn.Config{N: 10, FieldSide: 100, Range: 20, Seed: 1})
+	nw := wsn.MustDeploy(wsn.Config{N: 10, FieldSide: 100, Range: 20, Seed: 1})
 	if _, err := PlanStraightLine(nw, 0); err == nil {
 		t.Fatal("zero tracks accepted")
 	}
@@ -181,7 +181,7 @@ func TestStraightLineRejectsBadArgs(t *testing.T) {
 }
 
 func TestUploadDistanceWithinRangeForAdjacent(t *testing.T) {
-	nw := wsn.Deploy(wsn.Config{N: 300, FieldSide: 200, Range: 30, Seed: 10})
+	nw := wsn.MustDeploy(wsn.Config{N: 300, FieldSide: 200, Range: 30, Seed: 10})
 	p, err := PlanStraightLine(nw, 2)
 	if err != nil {
 		t.Fatal(err)

@@ -111,6 +111,7 @@ func PlanCLA(nw *wsn.Network) (*collector.TourPlan, error) {
 		y := ys[lineOf[i]]
 		start := lineStart[y]
 		uploadAt[i] = start
+		//mdglint:ignore floateq stop Y coordinates are copied verbatim from ys, so equality is exact by construction
 		if start+1 < len(stops) && stops[start+1].Y == y {
 			if node.Pos.Dist2(stops[start+1]) < node.Pos.Dist2(stops[start]) {
 				uploadAt[i] = start + 1

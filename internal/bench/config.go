@@ -32,9 +32,10 @@ func (c Config) trials() int {
 	return c.Trials
 }
 
-// deploy builds the trial's network.
+// deploy builds the trial's network. The experiment tables only use
+// known-good parameters, so MustDeploy is safe here.
 func deploy(n int, side, r float64, seed uint64) *wsn.Network {
-	return wsn.Deploy(wsn.Config{N: n, FieldSide: side, Range: r, Seed: seed})
+	return wsn.MustDeploy(wsn.Config{N: n, FieldSide: side, Range: r, Seed: seed})
 }
 
 // planSHDG runs the default heuristic planner.

@@ -63,7 +63,10 @@ func E11Obstacles(cfg Config) (*Table, error) {
 		var driven, euclid, detour, stops []float64
 		for trial := 0; trial < cfg.trials(); trial++ {
 			seed := cfg.Seed + uint64(trial)*41023 + uint64(k)
-			nw := obstacle.DeployAround(wsn.Config{N: n, FieldSide: 200, Range: 30, Seed: seed}, course)
+			nw, err := obstacle.DeployAround(wsn.Config{N: n, FieldSide: 200, Range: 30, Seed: seed}, course)
+			if err != nil {
+				return nil, fmt.Errorf("E11 k=%d trial %d: %w", k, trial, err)
+			}
 			tour, err := obstacle.PlanTour(nw, course)
 			if err != nil {
 				return nil, fmt.Errorf("E11 k=%d trial %d: %w", k, trial, err)

@@ -119,6 +119,7 @@ func d(v int) string { return fmt.Sprintf("%d", v) }
 
 // ratio formats a/b as "x.xx×".
 func ratio(a, b float64) string {
+	//mdglint:ignore floateq zero-guard before division; any non-zero denominator is formattable
 	if b == 0 {
 		return "-"
 	}

@@ -21,6 +21,7 @@ type Set struct {
 // New returns an empty set with capacity for n bits.
 func New(n int) *Set {
 	if n < 0 {
+		//mdglint:ignore nopanic documented precondition on a programmer-supplied constant capacity
 		panic("bitset: negative capacity")
 	}
 	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
@@ -32,6 +33,7 @@ func (s *Set) Len() int { return s.n }
 // check panics when i is outside [0, n).
 func (s *Set) check(i int) {
 	if i < 0 || i >= s.n {
+		//mdglint:ignore nopanic bounds check mirroring slice-index semantics; an error return would poison every hot-path bit op
 		panic("bitset: index out of range")
 	}
 }
@@ -111,6 +113,7 @@ func (s *Set) trim() {
 
 func (s *Set) mustMatch(o *Set) {
 	if s.n != o.n {
+		//mdglint:ignore nopanic set-algebra on mismatched capacities is a programming error, like mismatched matrix dimensions
 		panic("bitset: capacity mismatch")
 	}
 }

@@ -94,6 +94,7 @@ func (tp *TourPlan) Validate(sensors []geom.Point, maxRange float64) error {
 // collection latency for mobile schemes.
 func (tp *TourPlan) RoundTime(spec Spec) float64 {
 	if spec.Speed <= 0 {
+		//mdglint:ignore nopanic Spec speeds come from validated configs or literals; zero speed would silently yield +Inf latency
 		panic("collector: non-positive speed")
 	}
 	return tp.Length()/spec.Speed + float64(tp.Served())*spec.UploadTime

@@ -48,20 +48,21 @@ func (cs CandidateStrategy) String() string {
 //     the sensor sites (so every instance stays feasible).
 //   - Intersections: sensor sites plus circle–circle intersection points.
 //
-// gridSpacing is only used by FieldGrid; pass 0 elsewhere.
-func GenerateCandidates(sensors []geom.Point, field geom.Rect, r float64, strategy CandidateStrategy, gridSpacing float64) []geom.Point {
+// gridSpacing is only used by FieldGrid; pass 0 elsewhere. An unknown
+// strategy is reported as an error.
+func GenerateCandidates(sensors []geom.Point, field geom.Rect, r float64, strategy CandidateStrategy, gridSpacing float64) ([]geom.Point, error) {
 	switch strategy {
 	case SensorSites:
-		return append([]geom.Point(nil), sensors...)
+		return append([]geom.Point(nil), sensors...), nil
 	case FieldGrid:
 		if gridSpacing <= 0 {
 			gridSpacing = 20 // the paper's evaluation default, in metres
 		}
 		pts := field.GridPoints(gridSpacing)
-		return append(pts, sensors...)
+		return append(pts, sensors...), nil
 	case Intersections:
-		return geom.CoverPointCandidates(sensors, r)
+		return geom.CoverPointCandidates(sensors, r), nil
 	default:
-		panic(fmt.Sprintf("cover: unknown candidate strategy %v", strategy))
+		return nil, fmt.Errorf("cover: unknown candidate strategy %v", strategy)
 	}
 }

@@ -22,6 +22,10 @@ type Instance struct {
 	Universe   int
 	Candidates []geom.Point
 	Covers     []*bitset.Set
+
+	// err records an invalid construction (mismatched radii, non-positive
+	// range); Err and every solving method surface it.
+	err error
 }
 
 // NewInstance builds the covering instance for the given sensors,
@@ -42,12 +46,14 @@ func NewInstance(sensors []geom.Point, candidates []geom.Point, r float64) *Inst
 // radii.
 func NewInstanceRadii(sensors []geom.Point, radii []float64, candidates []geom.Point) *Instance {
 	if len(radii) != len(sensors) {
-		panic("cover: radii/sensor count mismatch")
+		return &Instance{Universe: len(sensors),
+			err: fmt.Errorf("cover: %d radii for %d sensors", len(radii), len(sensors))}
 	}
 	maxR := 0.0
-	for _, r := range radii {
+	for i, r := range radii {
 		if r <= 0 {
-			panic("cover: non-positive sensor radius")
+			return &Instance{Universe: len(sensors),
+				err: fmt.Errorf("cover: non-positive radius %v for sensor %d", r, i)}
 		}
 		if r > maxR {
 			maxR = r
@@ -99,8 +105,12 @@ func (in *Instance) uncoverable() int {
 	return full.NextSet(0)
 }
 
-// Err returns nil for feasible instances and a descriptive error otherwise.
+// Err returns nil for valid, feasible instances and a descriptive error
+// for invalid constructions or instances where some sensor is uncoverable.
 func (in *Instance) Err() error {
+	if in.err != nil {
+		return in.err
+	}
 	if s := in.uncoverable(); s >= 0 {
 		return fmt.Errorf("cover: sensor %d is outside the range of every candidate", s)
 	}
@@ -203,7 +213,7 @@ func (in *Instance) Prune() (*Instance, []int) {
 			}
 		}
 	}
-	out := &Instance{Universe: in.Universe}
+	out := &Instance{Universe: in.Universe, err: in.err}
 	var orig []int
 	for c := 0; c < n; c++ {
 		if !dominated[c] {

@@ -16,6 +16,38 @@ func randSensors(s *rng.Source, n int, l float64) []geom.Point {
 	return pts
 }
 
+func mustCandidates(t *testing.T, sensors []geom.Point, field geom.Rect, r float64, strategy CandidateStrategy, gridSpacing float64) []geom.Point {
+	t.Helper()
+	cands, err := GenerateCandidates(sensors, field, r, strategy, gridSpacing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cands
+}
+
+func TestGenerateCandidatesUnknownStrategy(t *testing.T) {
+	if _, err := GenerateCandidates(nil, geom.Square(10), 5, CandidateStrategy(99), 0); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestNewInstanceRadiiRejectsBadInput(t *testing.T) {
+	sensors := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 10)}
+	if err := NewInstanceRadii(sensors, []float64{5}, sensors).Err(); err == nil {
+		t.Fatal("mismatched radii accepted")
+	}
+	in := NewInstanceRadii(sensors, []float64{5, -1}, sensors)
+	if err := in.Err(); err == nil {
+		t.Fatal("negative radius accepted")
+	}
+	if _, err := in.Greedy(geom.Pt(0, 0)); err == nil {
+		t.Fatal("greedy ran on an invalid instance")
+	}
+	if pruned, _ := in.Prune(); pruned.Err() == nil {
+		t.Fatal("pruning dropped the construction error")
+	}
+}
+
 func TestNewInstanceDropsUselessCandidates(t *testing.T) {
 	sensors := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 10)}
 	cands := []geom.Point{geom.Pt(0, 0), geom.Pt(500, 500)}
@@ -164,7 +196,7 @@ func TestExactNeverWorseThanGreedy(t *testing.T) {
 	s := rng.New(71)
 	for trial := 0; trial < 15; trial++ {
 		sensors := randSensors(s, 10+s.Intn(20), 120)
-		cands := GenerateCandidates(sensors, geom.Square(120), 30, Intersections, 0)
+		cands := mustCandidates(t, sensors, geom.Square(120), 30, Intersections, 0)
 		in := NewInstance(sensors, cands, 30)
 		greedy, err := in.Greedy(geom.Pt(60, 60))
 		if err != nil {
@@ -211,15 +243,15 @@ func TestGenerateCandidatesStrategies(t *testing.T) {
 	s := rng.New(73)
 	sensors := randSensors(s, 40, 100)
 	field := geom.Square(100)
-	sites := GenerateCandidates(sensors, field, 20, SensorSites, 0)
+	sites := mustCandidates(t, sensors, field, 20, SensorSites, 0)
 	if len(sites) != 40 {
 		t.Fatalf("SensorSites produced %d", len(sites))
 	}
-	grid := GenerateCandidates(sensors, field, 20, FieldGrid, 20)
+	grid := mustCandidates(t, sensors, field, 20, FieldGrid, 20)
 	if len(grid) != 36+40 { // 6x6 lattice + sensor sites
 		t.Fatalf("FieldGrid produced %d", len(grid))
 	}
-	inter := GenerateCandidates(sensors, field, 20, Intersections, 0)
+	inter := mustCandidates(t, sensors, field, 20, Intersections, 0)
 	if len(inter) < 40 {
 		t.Fatalf("Intersections produced %d", len(inter))
 	}

@@ -38,6 +38,7 @@ func (s *Simulator) Steps() int { return s.steps }
 // immutable).
 func (s *Simulator) At(t float64, fn func(now float64)) {
 	if t < s.now {
+		//mdglint:ignore nopanic documented contract: the event calendar is append-only in time; violating it is a simulation bug
 		panic("des: scheduling into the past")
 	}
 	s.nextID++
@@ -47,6 +48,7 @@ func (s *Simulator) At(t float64, fn func(now float64)) {
 // After schedules fn delay seconds from now (delay >= 0).
 func (s *Simulator) After(delay float64, fn func(now float64)) {
 	if delay < 0 {
+		//mdglint:ignore nopanic documented contract: delays are non-negative by construction in every caller
 		panic("des: negative delay")
 	}
 	s.At(s.now+delay, fn)
@@ -76,6 +78,7 @@ type eventQueue []*Event
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
+	//mdglint:ignore floateq exact tie-break contract: equal timestamps fall through to FIFO seq order
 	if q[i].Time != q[j].Time {
 		return q[i].Time < q[j].Time
 	}

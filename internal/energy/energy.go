@@ -39,6 +39,7 @@ func DefaultModel() Model {
 // TxCost returns the energy to transmit one packet over distance d.
 func (m Model) TxCost(d float64) float64 {
 	if d < 0 {
+		//mdglint:ignore nopanic distances are Euclidean norms, so negative input is a caller bug, not a data condition
 		panic("energy: negative distance")
 	}
 	return m.PacketBits * (m.Elec + m.Amp*math.Pow(d, m.PathLossExp))
@@ -86,6 +87,7 @@ func (l *Ledger) ChargeRx(i int) { l.charge(i, l.Model.RxCost()) }
 // costs that the unit ChargeTx/ChargeRx operations cannot express.
 func (l *Ledger) Debit(i int, joules float64) {
 	if joules < 0 {
+		//mdglint:ignore nopanic negative debit would silently mint energy; callers pass computed non-negative costs
 		panic("energy: negative debit")
 	}
 	l.charge(i, joules)

@@ -21,6 +21,7 @@ type GridIndex struct {
 // a reference to pts; callers must not mutate the slice afterwards.
 func NewGridIndex(pts []Point, cell float64) *GridIndex {
 	if cell <= 0 {
+		//mdglint:ignore nopanic documented precondition; cell sizes are positive literals or ranges in all callers
 		panic("geom: NewGridIndex with non-positive cell size")
 	}
 	g := &GridIndex{cell: cell, pts: pts, bucket: make(map[int][]int32, len(pts))}

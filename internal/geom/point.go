@@ -85,6 +85,7 @@ func Mid(p, q Point) Point { return Point{(p.X + q.X) / 2, (p.Y + q.Y) / 2} }
 // Centroid returns the arithmetic mean of pts. It panics on an empty slice.
 func Centroid(pts []Point) Point {
 	if len(pts) == 0 {
+		//mdglint:ignore nopanic documented in the doc comment; the mean of nothing has no value to return
 		panic("geom: Centroid of empty point set")
 	}
 	var c Point

@@ -61,6 +61,7 @@ func (r Rect) Intersects(o Rect) bool {
 // empty slice.
 func Bound(pts []Point) Rect {
 	if len(pts) == 0 {
+		//mdglint:ignore nopanic documented in the doc comment; the bounding box of nothing has no value to return
 		panic("geom: Bound of empty point set")
 	}
 	r := Rect{pts[0], pts[0]}
@@ -80,6 +81,7 @@ func Bound(pts []Point) Rect {
 // the extent exactly (within Eps).
 func (r Rect) GridPoints(spacing float64) []Point {
 	if spacing <= 0 {
+		//mdglint:ignore nopanic documented precondition; spacing comes from validated configs or literals
 		panic("geom: GridPoints with non-positive spacing")
 	}
 	nx := int(math.Floor(r.Width()/spacing+Eps)) + 1

@@ -31,6 +31,7 @@ func Dijkstra(g *Graph, src int) *SPResult {
 		}
 		for _, a := range g.adj[u] {
 			if a.W < 0 {
+				//mdglint:ignore nopanic algorithm precondition; edge weights are distances, so a negative weight is a construction bug
 				panic("graph: Dijkstra on negative edge weight")
 			}
 			if nd := du + a.W; nd < r.Dist[a.To] {

@@ -29,6 +29,7 @@ type Arc struct {
 // New returns an empty graph on n vertices.
 func New(n int) *Graph {
 	if n < 0 {
+		//mdglint:ignore nopanic documented precondition on a programmer-supplied size, like make with a negative length
 		panic("graph: negative vertex count")
 	}
 	return &Graph{n: n, adj: make([][]Arc, n)}
@@ -44,6 +45,7 @@ func (g *Graph) M() int { return g.m }
 // rejected; parallel edges are permitted (the algorithms tolerate them).
 func (g *Graph) AddEdge(u, v int, w float64) {
 	if u == v {
+		//mdglint:ignore nopanic self-loops are construction bugs in this codebase's geometric graphs, not data conditions
 		panic(fmt.Sprintf("graph: self-loop at %d", u))
 	}
 	g.checkVertex(u)
@@ -55,6 +57,7 @@ func (g *Graph) AddEdge(u, v int, w float64) {
 
 func (g *Graph) checkVertex(v int) {
 	if v < 0 || v >= g.n {
+		//mdglint:ignore nopanic bounds check mirroring slice-index semantics
 		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.n))
 	}
 }

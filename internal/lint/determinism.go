@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// determinismScoped reports whether the package must additionally be free
+// of map-iteration-order dependence. These are the packages whose outputs
+// feed the calibration bands in RESULTS.txt: any map range there can leak
+// Go's randomized iteration order into tour construction, cover choices,
+// or metric emission.
+func determinismScoped(importPath string) bool {
+	for _, name := range []string{"sim", "des", "wsn", "cover", "tsp", "mtsp", "shdgp", "schedule", "routing"} {
+		if strings.HasSuffix(importPath, "/internal/"+name) {
+			return true
+		}
+	}
+	return false
+}
+
+// DeterminismAnalyzer flags sources of run-to-run nondeterminism:
+// math/rand and crypto/rand imports (all randomness must route through
+// internal/rng so seeds pin every draw), wall-clock reads (time.Now and
+// friends), and — in the simulation-critical packages — ranging over a
+// map, whose iteration order Go deliberately randomizes.
+func DeterminismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "flag math/rand, crypto/rand, wall-clock reads, and map iteration in simulation packages",
+		Run:  runDeterminism,
+	}
+}
+
+func runDeterminism(pass *Pass) {
+	scoped := determinismScoped(pass.Pkg.ImportPath)
+	for _, file := range pass.Pkg.Files {
+		for _, spec := range file.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch path {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(spec.Pos(),
+					"import of %s: route all randomness through internal/rng so a fixed seed reproduces every draw", path)
+			case "crypto/rand":
+				pass.Reportf(spec.Pos(),
+					"import of crypto/rand is inherently nondeterministic; simulations must use internal/rng")
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if pkgName(pass, n) == "time" {
+					switch n.Sel.Name {
+					case "Now", "Since", "Until":
+						pass.Reportf(n.Pos(),
+							"time.%s reads the wall clock; simulated time must come from the DES clock or round counters", n.Sel.Name)
+					}
+				}
+			case *ast.RangeStmt:
+				if !scoped {
+					return true
+				}
+				tv, ok := pass.Pkg.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(),
+						"map iteration order is randomized; sort the keys first (or suppress with proof the result is order-insensitive)")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// pkgName returns the package a selector expression selects from ("time"
+// for time.Now), or "" when the receiver is not a package.
+func pkgName(pass *Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}

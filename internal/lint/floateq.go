@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEqAnalyzer flags == and != between floating-point operands (and
+// composite values containing floats, such as geom.Point) outside
+// internal/geom, which hosts the sanctioned epsilon helpers (geom.Eps,
+// Point.Eq, Circle predicates). Exact float comparison is only safe for
+// values that were assigned, never computed, and that distinction should
+// be recorded with a suppression reason.
+func FloatEqAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "floateq",
+		Doc:  "flag ==/!= on floating-point operands outside internal/geom's epsilon helpers",
+		Run:  runFloatEq,
+	}
+}
+
+func runFloatEq(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.ImportPath, "/internal/geom") {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		if pass.IsTestFile(file.Pos()) {
+			// Golden tests intentionally compare exact values: bit-identical
+			// output under a fixed seed is this repository's contract.
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := pass.Pkg.Info.Types[be.X]
+			yt, yok := pass.Pkg.Info.Types[be.Y]
+			if !xok || !yok {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant-folded at compile time
+			}
+			if containsFloat(xt.Type) || containsFloat(yt.Type) {
+				pass.Reportf(be.OpPos, "%s compares floating-point values exactly; use the geom epsilon helpers (e.g. math.Abs(a-b) <= geom.Eps)",
+					exprString(pass.Pkg, be))
+			}
+			return true
+		})
+	}
+}
+
+// containsFloat reports whether comparing two values of type t with ==
+// compares floating-point representations: floats and complex numbers
+// themselves, and structs or arrays with any such field or element.
+func containsFloat(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsFloat(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsFloat(u.Elem())
+	}
+	return false
+}
+
+// exprString renders an expression compactly for finding messages.
+func exprString(pkg *Package, e ast.Expr) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, pkg.Fset, e); err != nil {
+		return "expression"
+	}
+	s := sb.String()
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalVarAnalyzer flags mutable package-level variables in non-test
+// code. Shared mutable state breaks reproducibility (two runs can observe
+// different values depending on call order) and blocks the planned
+// parallelization of the solver hot paths. Error sentinels (ErrFoo of
+// type error) and blank compile-time assertions (var _ Iface = ...) are
+// the two sanctioned shapes.
+func GlobalVarAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "globalvar",
+		Doc:  "flag mutable package-level vars (error sentinels and var _ assertions excepted)",
+		Run:  runGlobalVar,
+	}
+}
+
+func runGlobalVar(pass *Pass) {
+	errType := types.Universe.Lookup("error").Type()
+	for _, file := range pass.Pkg.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok.String() != "var" {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue // compile-time interface assertion
+					}
+					obj := pass.Pkg.Info.Defs[name]
+					if obj != nil && len(name.Name) >= 3 && name.Name[:3] == "Err" &&
+						types.Identical(obj.Type(), errType) {
+						continue // immutable-by-convention error sentinel
+					}
+					pass.Reportf(name.Pos(),
+						"package-level var %s is mutable shared state; use a const, thread it through a struct, or suppress with a reason",
+						name.Name)
+				}
+			}
+		}
+	}
+}

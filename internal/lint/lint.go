@@ -1,0 +1,179 @@
+// Package lint is a repo-specific static-analysis engine for the mobicol
+// reproduction. It enforces the invariants the experiments rely on —
+// deterministic randomness, epsilon-safe float comparisons, error returns
+// instead of panics, no silently discarded errors, and no mutable
+// package-level state — using only the standard library (go/ast,
+// go/parser, go/types, go/token).
+//
+// Findings can be suppressed at the offending line, or on the line
+// directly above it, with a reasoned directive:
+//
+//	//mdglint:ignore <analyzer> <reason>
+//
+// The reason is mandatory: a suppression without one is itself reported,
+// so the CI gate cannot be waved through silently.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the canonical file:line: analyzer: message
+// form consumed by editors and CI logs.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string // short lowercase identifier used in findings and directives
+	Doc  string // one-line description
+	Run  func(*Pass)
+}
+
+// Pass gives an analyzer access to one package and a reporting sink.
+type Pass struct {
+	Pkg      *Package
+	analyzer string
+	report   func(Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Pkg.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Analyzers returns fresh instances of the full suite, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer(),
+		FloatEqAnalyzer(),
+		NoPanicAnalyzer(),
+		ErrCheckAnalyzer(),
+		GlobalVarAnalyzer(),
+	}
+}
+
+// directive is one parsed //mdglint:ignore comment.
+type directive struct {
+	line     int
+	analyzer string
+	reason   string
+}
+
+const directivePrefix = "//mdglint:ignore"
+
+// parseDirectives extracts every mdglint:ignore directive in the file,
+// reporting malformed ones (no analyzer, or no reason) through report so
+// they cannot silently disable the gate.
+func parseDirectives(fset *token.FileSet, file *ast.File, known map[string]bool, report func(Finding)) []directive {
+	var out []directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+			name, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			switch {
+			case name == "" || reason == "":
+				report(Finding{Pos: pos, Analyzer: "mdglint",
+					Message: "malformed suppression: want //mdglint:ignore <analyzer> <reason>"})
+			case !known[name]:
+				report(Finding{Pos: pos, Analyzer: "mdglint",
+					Message: fmt.Sprintf("suppression names unknown analyzer %q", name)})
+			default:
+				out = append(out, directive{line: pos.Line, analyzer: name, reason: reason})
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// findings sorted by position. Suppressed findings are dropped; malformed
+// suppressions are reported under the pseudo-analyzer "mdglint".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var all []Finding
+	collect := func(f Finding) { all = append(all, f) }
+
+	// fileKey -> line -> analyzers suppressed at that line.
+	type lineKey struct {
+		file string
+		line int
+	}
+	suppressed := map[lineKey]map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			name := pkg.Fset.Position(file.Pos()).Filename
+			for _, d := range parseDirectives(pkg.Fset, file, known, collect) {
+				k := lineKey{file: name, line: d.line}
+				if suppressed[k] == nil {
+					suppressed[k] = map[string]bool{}
+				}
+				suppressed[k][d.analyzer] = true
+			}
+		}
+	}
+
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Pkg: pkg, analyzer: a.Name, report: collect})
+		}
+	}
+
+	kept := all[:0]
+	for _, f := range all {
+		if f.Analyzer != "mdglint" {
+			same := suppressed[lineKey{f.Pos.Filename, f.Pos.Line}]
+			above := suppressed[lineKey{f.Pos.Filename, f.Pos.Line - 1}]
+			if same[f.Analyzer] || above[f.Analyzer] {
+				continue
+			}
+		}
+		kept = append(kept, f)
+	}
+
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}

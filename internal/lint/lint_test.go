@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadFixture parses and type-checks one testdata file as a standalone
+// package with the given import path (the path controls analyzer scoping).
+func loadFixture(t *testing.T, filename, importPath string) *Package {
+	t.Helper()
+	path := filepath.Join("testdata", filename)
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(importPath, fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", path, err)
+	}
+	return &Package{
+		Dir:        "testdata",
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      []*ast.File{file},
+		Types:      tpkg,
+		Info:       info,
+	}
+}
+
+var wantRE = regexp.MustCompile(`// want "([^"]+)"`)
+
+// checkFixture runs one analyzer over a fixture and compares the surviving
+// findings against the fixture's // want "substring" annotations: every
+// want line must produce a matching finding, and no finding may land on a
+// line without a want.
+func checkFixture(t *testing.T, a *Analyzer, filename, importPath string) {
+	t.Helper()
+	pkg := loadFixture(t, filename, importPath)
+	findings := Run([]*Package{pkg}, []*Analyzer{a})
+
+	src, err := os.ReadFile(filepath.Join("testdata", filename))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[int]string{} // line -> expected substring
+	for i, line := range strings.Split(string(src), "\n") {
+		if m := wantRE.FindStringSubmatch(line); m != nil {
+			wants[i+1] = m[1]
+		}
+	}
+
+	byLine := map[int][]Finding{}
+	for _, f := range findings {
+		if f.Analyzer != a.Name && f.Analyzer != "mdglint" {
+			t.Errorf("finding from unexpected analyzer: %s", f)
+			continue
+		}
+		byLine[f.Pos.Line] = append(byLine[f.Pos.Line], f)
+	}
+	for line, want := range wants {
+		matched := false
+		for _, f := range byLine[line] {
+			if strings.Contains(f.Message, want) {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: no %s finding containing %q (got %v)", filename, line, a.Name, want, byLine[line])
+		}
+	}
+	for line, fs := range byLine {
+		if _, ok := wants[line]; !ok {
+			for _, f := range fs {
+				t.Errorf("unexpected finding: %s", f)
+			}
+		}
+	}
+}
+
+func TestDeterminismAnalyzer(t *testing.T) {
+	// The import path puts the fixture inside the simulation scope, so the
+	// map-iteration rule applies.
+	checkFixture(t, DeterminismAnalyzer(), "determinism.go", "mobicol/internal/sim")
+}
+
+func TestDeterminismMapRuleOutOfScope(t *testing.T) {
+	pkg := loadFixture(t, "determinism.go", "mobicol/internal/viz")
+	for _, f := range Run([]*Package{pkg}, []*Analyzer{DeterminismAnalyzer()}) {
+		if strings.Contains(f.Message, "map iteration") {
+			t.Errorf("map rule fired outside the simulation scope: %s", f)
+		}
+	}
+}
+
+func TestFloatEqAnalyzer(t *testing.T) {
+	checkFixture(t, FloatEqAnalyzer(), "floateq.go", "mobicol/internal/fixture")
+}
+
+func TestFloatEqSkipsGeom(t *testing.T) {
+	pkg := loadFixture(t, "floateq.go", "mobicol/internal/geom")
+	if fs := Run([]*Package{pkg}, []*Analyzer{FloatEqAnalyzer()}); len(fs) != 0 {
+		t.Errorf("floateq fired inside internal/geom: %v", fs)
+	}
+}
+
+func TestNoPanicAnalyzer(t *testing.T) {
+	checkFixture(t, NoPanicAnalyzer(), "nopanic.go", "mobicol/internal/fixture")
+}
+
+func TestNoPanicSkipsNonInternal(t *testing.T) {
+	pkg := loadFixture(t, "nopanic.go", "mobicol/cmd/tool")
+	if fs := Run([]*Package{pkg}, []*Analyzer{NoPanicAnalyzer()}); len(fs) != 0 {
+		t.Errorf("nopanic fired outside internal/: %v", fs)
+	}
+}
+
+func TestErrCheckAnalyzer(t *testing.T) {
+	checkFixture(t, ErrCheckAnalyzer(), "errcheck.go", "mobicol/internal/fixture")
+}
+
+func TestGlobalVarAnalyzer(t *testing.T) {
+	checkFixture(t, GlobalVarAnalyzer(), "globalvar.go", "mobicol/internal/fixture")
+}
+
+func TestMalformedSuppressionIsReported(t *testing.T) {
+	const src = `package p
+
+func f(a, b float64) bool {
+	//mdglint:ignore floateq
+	x := a == b
+	//mdglint:ignore nosuchanalyzer the name is wrong
+	y := a != b
+	return x && y
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}, Defs: map[*ast.Ident]types.Object{}, Uses: map[*ast.Ident]types.Object{}}
+	tpkg, err := (&types.Config{}).Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{ImportPath: "p", Fset: fset, Files: []*ast.File{file}, Types: tpkg, Info: info}
+	findings := Run([]*Package{pkg}, Analyzers())
+
+	var malformed, unknown, floateqFindings int
+	for _, f := range findings {
+		switch {
+		case strings.Contains(f.Message, "malformed suppression"):
+			malformed++
+		case strings.Contains(f.Message, "unknown analyzer"):
+			unknown++
+		case f.Analyzer == "floateq":
+			floateqFindings++
+		}
+	}
+	if malformed != 1 {
+		t.Errorf("want 1 malformed-suppression finding, got %d: %v", malformed, findings)
+	}
+	if unknown != 1 {
+		t.Errorf("want 1 unknown-analyzer finding, got %d: %v", unknown, findings)
+	}
+	// Neither broken directive may actually suppress the float comparisons.
+	if floateqFindings != 2 {
+		t.Errorf("broken directives must not suppress findings; got %d floateq findings: %v", floateqFindings, findings)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Pos: token.Position{Filename: "a/b.go", Line: 7}, Analyzer: "nopanic", Message: "boom"}
+	if got, want := f.String(), "a/b.go:7: nopanic: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module, including
+// its in-package _test.go files.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing a
+// go.mod file.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath reads the module declaration from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if p, err := strconv.Unquote(rest); err == nil {
+				return p, nil
+			}
+			return rest, nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s/go.mod", root)
+}
+
+// rawPkg is one directory's worth of parsed files awaiting type checking.
+type rawPkg struct {
+	dir        string
+	importPath string
+	files      []*ast.File
+	imports    map[string]bool // module-internal import paths
+}
+
+// LoadModule parses and type-checks every package under the module rooted
+// at root (skipping testdata, vendor, and hidden directories). In-package
+// test files are included so test code is linted too; the repository has
+// no external (package foo_test) test packages.
+func LoadModule(root string) ([]*Package, error) {
+	root, err := FindModuleRoot(root)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	raw := map[string]*rawPkg{} // import path -> package
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("lint: parse %s: %w", path, err)
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		ip := module
+		if rel != "." {
+			ip = module + "/" + filepath.ToSlash(rel)
+		}
+		p := raw[ip]
+		if p == nil {
+			p = &rawPkg{dir: dir, importPath: ip, imports: map[string]bool{}}
+			raw[ip] = p
+		}
+		p.files = append(p.files, file)
+		for _, spec := range file.Imports {
+			if target, err := strconv.Unquote(spec.Path.Value); err == nil {
+				if target == module || strings.HasPrefix(target, module+"/") {
+					p.imports[target] = true
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	order, err := topoOrder(raw)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{
+		module: module,
+		std:    importer.ForCompiler(fset, "source", nil),
+		cache:  map[string]*types.Package{},
+	}
+	var pkgs []*Package
+	for _, ip := range order {
+		p := raw[ip]
+		// Deterministic file order regardless of directory listing order.
+		sort.Slice(p.files, func(i, j int) bool {
+			return fset.Position(p.files[i].Pos()).Filename < fset.Position(p.files[j].Pos()).Filename
+		})
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(ip, fset, p.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: typecheck %s: %w", ip, err)
+		}
+		imp.cache[ip] = tpkg
+		pkgs = append(pkgs, &Package{
+			Dir:        p.dir,
+			ImportPath: ip,
+			Fset:       fset,
+			Files:      p.files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return pkgs, nil
+}
+
+// topoOrder returns the packages in dependency order (imports first).
+func topoOrder(raw map[string]*rawPkg) ([]string, error) {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var order []string
+	var visit func(ip string) error
+	visit = func(ip string) error {
+		switch state[ip] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", ip)
+		}
+		state[ip] = visiting
+		p := raw[ip]
+		deps := make([]string, 0, len(p.imports))
+		for dep := range p.imports {
+			deps = append(deps, dep)
+		}
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if raw[dep] == nil {
+				return fmt.Errorf("lint: %s imports %s, which is not in the module", ip, dep)
+			}
+			if dep == ip {
+				continue // a package's test files may import itself; harmless
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[ip] = done
+		order = append(order, ip)
+		return nil
+	}
+	paths := make([]string, 0, len(raw))
+	for ip := range raw {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	for _, ip := range paths {
+		if err := visit(ip); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves module-internal imports from the packages
+// already checked this run and everything else from GOROOT source.
+type moduleImporter struct {
+	module string
+	std    types.Importer
+	cache  map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == m.module || strings.HasPrefix(path, m.module+"/") {
+		if pkg := m.cache[path]; pkg != nil {
+			return pkg, nil
+		}
+		return nil, fmt.Errorf("lint: internal package %s not yet type-checked", path)
+	}
+	return m.std.Import(path)
+}

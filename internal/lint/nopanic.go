@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanicAnalyzer flags panic calls in non-test internal/ library code.
+// Library invariants should surface as returned errors so callers (the
+// CLIs, the bench harness, future services) can degrade gracefully;
+// panics that guard genuinely unreachable programmer errors may stay with
+// a reasoned suppression.
+func NoPanicAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "nopanic",
+		Doc:  "flag panic() in non-test internal/ library code; return errors instead",
+		Run:  runNoPanic,
+	}
+}
+
+func runNoPanic(pass *Pass) {
+	if !strings.Contains(pass.Pkg.ImportPath, "/internal/") {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+				pass.Reportf(call.Pos(), "panic in library code; return an error so callers can recover")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,31 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestRepoPassesOwnLinter is the acceptance gate in test form: loading
+// the whole module and running the full suite must produce zero findings.
+// It is what `go run ./cmd/mdglint ./...` enforces in CI, kept here too so
+// `go test ./...` alone catches regressions. Skipped under -short because
+// type-checking the module (and its stdlib deps, from source) takes a
+// few seconds.
+func TestRepoPassesOwnLinter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide typecheck is slow; run without -short")
+	}
+	pkgs, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader is missing parts of the module", len(pkgs))
+	}
+	findings := Run(pkgs, Analyzers())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("%d findings; fix them or add a reasoned //mdglint:ignore", len(findings))
+	}
+}

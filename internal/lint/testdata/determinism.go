@@ -1,0 +1,51 @@
+// Fixture for the determinism analyzer. Type-checked as import path
+// mobicol/internal/sim so the map-iteration rule is in scope.
+package fixture
+
+import (
+	crand "crypto/rand" // want "crypto/rand is inherently nondeterministic"
+	"math/rand"         // want "route all randomness through internal/rng"
+	"time"
+)
+
+func topLevelRand() int {
+	return rand.Intn(10)
+}
+
+func unseededNew() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "time.Now reads the wall clock"
+}
+
+func wallClock() time.Duration {
+	start := time.Now()      // want "time.Now reads the wall clock"
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func cryptoDraw(buf []byte) {
+	_, _ = crand.Read(buf)
+}
+
+func mapOrderLeak(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "map iteration order is randomized"
+		total += v
+	}
+	return total
+}
+
+func mapOrderSuppressed(m map[int]float64) float64 {
+	total := 0.0
+	//mdglint:ignore determinism float addition reordering is absorbed by the commutative sum test tolerance
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sliceOrderIsFine(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,57 @@
+// Fixture for the errcheck analyzer.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error { return errors.New("boom") }
+
+func twoResults() (int, error) { return 0, errors.New("boom") }
+
+func dropped() {
+	fallible() // want "error returned by fallible is silently discarded"
+}
+
+func droppedTuple() {
+	twoResults() // want "error returned by twoResults is silently discarded"
+}
+
+func deferredDrop(f *os.File) {
+	defer f.Close() // want "error returned by os.Close is silently discarded"
+}
+
+func goroutineDrop() {
+	go fallible() // want "error returned by fallible is silently discarded"
+}
+
+func explicitBlankIsFine() {
+	_ = fallible()
+}
+
+func handledIsFine() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func fmtPrintFamilyIsFine() {
+	fmt.Println("hello")
+	fmt.Printf("%d\n", 1)
+	fmt.Fprintln(os.Stderr, "hello")
+}
+
+func inMemoryWritersAreFine() string {
+	var sb strings.Builder
+	sb.WriteString("hello")
+	return sb.String()
+}
+
+func suppressedDrop() {
+	//mdglint:ignore errcheck best-effort cleanup on shutdown
+	fallible()
+}

@@ -1,0 +1,46 @@
+// Fixture for the floateq analyzer. Type-checked as import path
+// mobicol/internal/fixture (outside internal/geom, so comparisons are
+// flagged).
+package fixture
+
+type point struct{ X, Y float64 }
+
+type vec [2]float64
+
+func directEq(a, b float64) bool {
+	return a == b // want "compares floating-point values exactly"
+}
+
+func directNeq(a, b float64) bool {
+	return a != b // want "compares floating-point values exactly"
+}
+
+func zeroCompare(a float64) bool {
+	return a == 0 // want "compares floating-point values exactly"
+}
+
+func structCompare(p, q point) bool {
+	return p == q // want "compares floating-point values exactly"
+}
+
+func arrayCompare(v, w vec) bool {
+	return v != w // want "compares floating-point values exactly"
+}
+
+func float32Eq(a, b float32) bool {
+	return a == b // want "compares floating-point values exactly"
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b
+}
+
+func constantFold() bool {
+	const a, b = 1.5, 2.5
+	return a == b // both operands constant: folded at compile time, no finding
+}
+
+func suppressedSentinel(residual float64) bool {
+	//mdglint:ignore floateq residual is assigned -1 as a sentinel, never computed
+	return residual == -1
+}

@@ -1,0 +1,33 @@
+// Fixture for the globalvar analyzer.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var counter int // want "package-level var counter is mutable shared state"
+
+var cache = map[string]int{} // want "package-level var cache is mutable shared state"
+
+var a, b = 1.0, 2.0 // want "package-level var a is mutable shared state"
+
+var ErrNotFound = errors.New("fixture: not found")
+
+var ErrBadInput = fmt.Errorf("fixture: bad input")
+
+var _ fmt.Stringer = named("")
+
+//mdglint:ignore globalvar write-once lookup table initialized before any reader
+var lookup = []int{1, 2, 3}
+
+const limit = 10
+
+type named string
+
+func (n named) String() string { return string(n) }
+
+func use() (int, float64, []int, string) {
+	counter++
+	return counter + cache[""] + limit, a + b, lookup, ErrNotFound.Error() + ErrBadInput.Error()
+}

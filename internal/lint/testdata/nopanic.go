@@ -1,0 +1,31 @@
+// Fixture for the nopanic analyzer. Type-checked as import path
+// mobicol/internal/fixture so the internal-only scope applies.
+package fixture
+
+import "errors"
+
+func guard(n int) {
+	if n < 0 {
+		panic("negative") // want "panic in library code"
+	}
+}
+
+func guardWithError(n int) error {
+	if n < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}
+
+func suppressedInvariant(i, n int) {
+	if i >= n {
+		//mdglint:ignore nopanic mirrors the runtime's own bounds-check panic
+		panic("index out of range")
+	}
+}
+
+// A local function named panic must not be flagged: only the builtin counts.
+func notTheBuiltin() {
+	panic := func(string) {}
+	panic("shadowed")
+}

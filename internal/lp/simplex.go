@@ -87,6 +87,7 @@ func (m *Model) SetObjective(j int, c float64) {
 // AddConstraint appends a row. The coefficient slice is copied.
 func (m *Model) AddConstraint(coef []float64, sense Sense, rhs float64) {
 	if len(coef) != m.NumVars {
+		//mdglint:ignore nopanic dimension mismatch is a programming error, like mismatched matrix dimensions
 		panic(fmt.Sprintf("lp: constraint has %d coefficients, model has %d vars", len(coef), m.NumVars))
 	}
 	m.Constraints = append(m.Constraints, Constraint{append([]float64(nil), coef...), sense, rhs})

@@ -160,7 +160,10 @@ func courseAndNet(t *testing.T) (*Course, *wsn.Network) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nw := DeployAround(wsn.Config{N: 120, FieldSide: 200, Range: 30, Seed: 9}, course)
+	nw, err := DeployAround(wsn.Config{N: 120, FieldSide: 200, Range: 30, Seed: 9}, course)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return course, nw
 }
 
@@ -221,7 +224,7 @@ func TestPlanTourNoObstaclesMatchesEuclidean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nw := wsn.Deploy(wsn.Config{N: 80, FieldSide: 150, Range: 30, Seed: 4})
+	nw := wsn.MustDeploy(wsn.Config{N: 80, FieldSide: 150, Range: 30, Seed: 4})
 	tour, err := PlanTour(nw, course)
 	if err != nil {
 		t.Fatal(err)

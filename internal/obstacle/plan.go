@@ -30,7 +30,8 @@ type Tour struct {
 
 // DetourFactor returns Length / Euclidean (1 when nothing blocks).
 func (t *Tour) DetourFactor() float64 {
-	if t.Euclidean == 0 {
+	// Tour lengths are sums of distances, so <= 0 means exactly zero.
+	if t.Euclidean <= 0 {
 		return 1
 	}
 	return t.Length / t.Euclidean
@@ -98,22 +99,28 @@ func PlanTour(nw *wsn.Network, course *Course) (*Tour, error) {
 // nodes drawn inside any obstacle are resampled deterministically. The
 // experiments use it so obstacle density varies while sensor count stays
 // fixed.
-func DeployAround(cfg wsn.Config, course *Course) *wsn.Network {
-	base := wsn.Deploy(cfg)
+func DeployAround(cfg wsn.Config, course *Course) (*wsn.Network, error) {
+	base, err := wsn.Deploy(cfg)
+	if err != nil {
+		return nil, err
+	}
 	pts := base.Positions()
 	// Resample blocked sensors by marching the seed; bounded attempts
 	// keep this deterministic and total.
 	for i, p := range pts {
 		attempt := uint64(1)
 		for course.Inside(p) && attempt < 1000 {
-			sub := wsn.Deploy(wsn.Config{
+			sub, err := wsn.Deploy(wsn.Config{
 				N: 1, FieldSide: cfg.FieldSide, Range: cfg.Range,
 				Seed: cfg.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15 ^ attempt,
 			})
+			if err != nil {
+				return nil, err
+			}
 			p = sub.Nodes[0].Pos
 			attempt++
 		}
 		pts[i] = p
 	}
-	return wsn.New(pts, base.Sink, cfg.Range, base.Field)
+	return wsn.New(pts, base.Sink, cfg.Range, base.Field), nil
 }

@@ -53,6 +53,7 @@ func (m Model) Validate() error {
 // with nominal range r.
 func (m Model) PRR(d, r float64) float64 {
 	if d < 0 || r <= 0 {
+		//mdglint:ignore nopanic distances are Euclidean norms and ranges come from validated configs; bad input is a caller bug
 		panic("radio: bad distance or range")
 	}
 	if math.IsInf(m.D50, 1) {

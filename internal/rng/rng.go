@@ -57,6 +57,7 @@ func (s *Source) Uniform(lo, hi float64) float64 {
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
 func (s *Source) Intn(n int) int {
 	if n <= 0 {
+		//mdglint:ignore nopanic mirrors math/rand.Intn's documented contract
 		panic("rng: Intn with non-positive n")
 	}
 	// Lemire's multiply-shift rejection method: unbiased and fast.
@@ -102,9 +103,11 @@ func (s *Source) NormMeanStd(mean, std float64) float64 {
 // Exp returns an exponential variate with rate lambda (> 0).
 func (s *Source) Exp(lambda float64) float64 {
 	if lambda <= 0 {
+		//mdglint:ignore nopanic documented precondition; rates are positive literals or validated config fields
 		panic("rng: Exp with non-positive rate")
 	}
 	u := s.Float64()
+	//mdglint:ignore floateq guards math.Log(0); Float64 returns exact dyadic rationals, so == 0 is well-defined
 	for u == 0 {
 		u = s.Float64()
 	}

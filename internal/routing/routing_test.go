@@ -67,7 +67,7 @@ func TestDisconnectedSensors(t *testing.T) {
 
 func TestPlanOnRandomDeployments(t *testing.T) {
 	for seed := uint64(0); seed < 10; seed++ {
-		nw := wsn.Deploy(wsn.Config{N: 150, FieldSide: 200, Range: 30, Seed: seed})
+		nw := wsn.MustDeploy(wsn.Config{N: 150, FieldSide: 200, Range: 30, Seed: seed})
 		p := BuildPlan(nw)
 		if err := p.Validate(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
@@ -87,7 +87,7 @@ func TestPlanOnRandomDeployments(t *testing.T) {
 }
 
 func TestSinkAdjacentCarryTheLoad(t *testing.T) {
-	nw := wsn.Deploy(wsn.Config{N: 300, FieldSide: 200, Range: 30, Seed: 5})
+	nw := wsn.MustDeploy(wsn.Config{N: 300, FieldSide: 200, Range: 30, Seed: 5})
 	p := BuildPlan(nw)
 	maxLoad, sensor := p.MaxLoad()
 	if maxLoad < 2 {

@@ -110,7 +110,7 @@ type RunResult struct {
 
 // LossFraction returns Lost / Generated (0 when nothing was generated).
 func (r *RunResult) LossFraction() float64 {
-	if r.Generated == 0 {
+	if r.Generated <= 0 {
 		return 0
 	}
 	return r.Lost / r.Generated

@@ -27,8 +27,8 @@ func PlanCapacitated(p *Problem, cap int, opts tsp.Options) (*Solution, error) {
 	if cap <= 0 {
 		return nil, fmt.Errorf("shdgp: capacity must be positive, got %d", cap)
 	}
-	inst := p.Instance()
-	if err := inst.Err(); err != nil {
+	inst, err := p.Instance()
+	if err != nil {
 		return nil, err
 	}
 	sensors := p.Net.Positions()
@@ -132,8 +132,8 @@ func (s *Solution) ValidateCapacity(cap int) error {
 // consecutive stops spatially coherent, which the final TSP pass then
 // exploits. It exists as an E8 ablation point against the global greedy.
 func PlanSweep(p *Problem, opts tsp.Options) (*Solution, error) {
-	inst := p.Instance()
-	if err := inst.Err(); err != nil {
+	inst, err := p.Instance()
+	if err != nil {
 		return nil, err
 	}
 	sensors := p.Net.Positions()

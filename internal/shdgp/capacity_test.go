@@ -120,7 +120,7 @@ func TestPlanSweepValidAndComplete(t *testing.T) {
 }
 
 func TestPlanSweepDisconnected(t *testing.T) {
-	nw := wsn.Deploy(wsn.Config{N: 80, FieldSide: 500, Range: 25, Placement: wsn.Clustered, Clusters: 4, Seed: 3})
+	nw := wsn.MustDeploy(wsn.Config{N: 80, FieldSide: 500, Range: 25, Placement: wsn.Clustered, Clusters: 4, Seed: 3})
 	p := NewProblem(nw)
 	sol, err := PlanSweep(p, tsp.DefaultOptions())
 	if err != nil {
@@ -149,7 +149,7 @@ func TestPlanSweepComparableToGreedy(t *testing.T) {
 }
 
 func TestPlanSweepEmptyNetwork(t *testing.T) {
-	nw := wsn.New(nil, wsn.Deploy(wsn.Config{N: 1, FieldSide: 10, Range: 5, Seed: 1}).Sink, 5, wsn.Deploy(wsn.Config{N: 1, FieldSide: 10, Range: 5, Seed: 1}).Field)
+	nw := wsn.New(nil, wsn.MustDeploy(wsn.Config{N: 1, FieldSide: 10, Range: 5, Seed: 1}).Sink, 5, wsn.MustDeploy(wsn.Config{N: 1, FieldSide: 10, Range: 5, Seed: 1}).Field)
 	if _, err := PlanSweep(NewProblem(nw), tsp.DefaultOptions()); err == nil {
 		t.Fatal("empty network accepted")
 	}

@@ -44,8 +44,8 @@ func PlanExact(p *Problem, limits ExactLimits) (*Solution, error) {
 	if limits.MaxCandidates == 0 {
 		limits = DefaultExactLimits()
 	}
-	instFull := p.Instance()
-	if err := instFull.Err(); err != nil {
+	instFull, err := p.Instance()
+	if err != nil {
 		return nil, err
 	}
 	inst, orig := instFull.Prune()
@@ -171,10 +171,11 @@ func PlanExact(p *Problem, limits ExactLimits) (*Solution, error) {
 // in-repo branch-and-bound ILP. It is used by the E1 experiment to verify
 // the combinatorial exact search against an independent solver.
 func MinStopsILP(p *Problem, maxNodes int) (int, bool, error) {
-	inst, _ := p.Instance().Prune()
-	if err := inst.Err(); err != nil {
+	full, err := p.Instance()
+	if err != nil {
 		return 0, false, err
 	}
+	inst, _ := full.Prune()
 	m := lp.SetCoverModel(inst.Universe, inst.Covers)
 	sol, err := m.SolveBinary(maxNodes)
 	if err != nil {

@@ -76,11 +76,8 @@ func TestPlanHeteroRejectsBadInput(t *testing.T) {
 	if _, err := PlanHetero(p.Net, make([]float64, 3), tsp.DefaultOptions()); err == nil {
 		t.Fatal("mismatched radii accepted")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("non-positive radius did not panic in cover layer")
-		}
-	}()
 	bad := make([]float64, p.Net.N())
-	_, _ = PlanHetero(p.Net, bad, tsp.DefaultOptions())
+	if _, err := PlanHetero(p.Net, bad, tsp.DefaultOptions()); err == nil {
+		t.Fatal("non-positive radius accepted")
+	}
 }

@@ -37,12 +37,11 @@ func DefaultPlannerOptions() PlannerOptions {
 //     and relocate each stop to the candidate that covers the same
 //     critical sensors with the smallest tour detour.
 func Plan(p *Problem, opts PlannerOptions) (*Solution, error) {
-	inst := p.Instance()
-	if err := inst.Err(); err != nil {
+	inst, err := p.Instance()
+	if err != nil {
 		return nil, err
 	}
 	var chosen []int
-	var err error
 	if opts.ExactCover {
 		chosen, _, err = inst.ExactMin(2_000_000)
 	} else {

@@ -40,11 +40,20 @@ type Problem struct {
 // NewProblem wraps a network with default candidate generation.
 func NewProblem(nw *wsn.Network) *Problem { return &Problem{Net: nw} }
 
-// Instance materialises the covering instance for the problem.
-func (p *Problem) Instance() *cover.Instance {
+// Instance materialises the covering instance for the problem. It fails
+// when the candidate strategy is unknown or the instance is infeasible
+// (some sensor out of range of every candidate).
+func (p *Problem) Instance() (*cover.Instance, error) {
 	sensors := p.Net.Positions()
-	cands := cover.GenerateCandidates(sensors, p.Net.Field, p.Net.Range, p.Strategy, p.GridSpacing)
-	return cover.NewInstance(sensors, cands, p.Net.Range)
+	cands, err := cover.GenerateCandidates(sensors, p.Net.Field, p.Net.Range, p.Strategy, p.GridSpacing)
+	if err != nil {
+		return nil, err
+	}
+	inst := cover.NewInstance(sensors, cands, p.Net.Range)
+	if err := inst.Err(); err != nil {
+		return nil, err
+	}
+	return inst, nil
 }
 
 // Solution is a planned single-hop gathering tour.

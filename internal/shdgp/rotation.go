@@ -23,8 +23,8 @@ func PlanDiverse(p *Problem, k int, opts tsp.Options) ([]*Solution, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("shdgp: need at least one plan, got %d", k)
 	}
-	inst := p.Instance()
-	if err := inst.Err(); err != nil {
+	inst, err := p.Instance()
+	if err != nil {
 		return nil, err
 	}
 	spread := p.Net.Field.Width() / 4

@@ -11,7 +11,7 @@ import (
 )
 
 func deploy(n int, side, r float64, seed uint64) *Problem {
-	return NewProblem(wsn.Deploy(wsn.Config{N: n, FieldSide: side, Range: r, Seed: seed}))
+	return NewProblem(wsn.MustDeploy(wsn.Config{N: n, FieldSide: side, Range: r, Seed: seed}))
 }
 
 func TestPlanProducesValidSolution(t *testing.T) {
@@ -50,7 +50,7 @@ func TestPlanCoversEverySensorSingleHop(t *testing.T) {
 func TestPlanHandlesDisconnectedNetworks(t *testing.T) {
 	// Clustered sparse deployment: multi-hop to a static sink would strand
 	// sensors, but the SHDGP plan must still serve all of them.
-	nw := wsn.Deploy(wsn.Config{N: 80, FieldSide: 500, Range: 25, Placement: wsn.Clustered, Clusters: 4, Seed: 7})
+	nw := wsn.MustDeploy(wsn.Config{N: 80, FieldSide: 500, Range: 25, Placement: wsn.Clustered, Clusters: 4, Seed: 7})
 	p := NewProblem(nw)
 	sol, err := Plan(p, DefaultPlannerOptions())
 	if err != nil {
@@ -202,7 +202,10 @@ func TestPlanExactRejectsHugeInstances(t *testing.T) {
 func TestMinStopsILPMatchesExactCover(t *testing.T) {
 	for seed := uint64(0); seed < 4; seed++ {
 		p := deploy(14, 80, 25, seed)
-		inst := p.Instance()
+		inst, err := p.Instance()
+		if err != nil {
+			t.Fatal(err)
+		}
 		chosen, exact, err := inst.ExactMin(0)
 		if err != nil {
 			t.Fatal(err)

@@ -63,7 +63,7 @@ func TestAdaptiveMobileOutlastsStaticToHalfLife(t *testing.T) {
 func TestAdaptiveStaticStrandsSurvivors(t *testing.T) {
 	// On a sparse field the static sink's coverage at half-life should
 	// have degraded below 1 (relay deaths strand living sensors).
-	nw := wsn.Deploy(wsn.Config{N: 120, FieldSide: 300, Range: 30, Seed: 25})
+	nw := wsn.MustDeploy(wsn.Config{N: 120, FieldSide: 300, Range: 30, Seed: 25})
 	res, err := RunAdaptiveStatic(nw, smallBattery(), 1_000_000)
 	if err != nil {
 		t.Fatal(err)

@@ -36,7 +36,7 @@ func TestDESMobileRoundHandComputed(t *testing.T) {
 }
 
 func TestDESMobileMatchesAnalyticRoundTime(t *testing.T) {
-	nw := wsn.Deploy(wsn.Config{N: 120, FieldSide: 200, Range: 30, Seed: 3})
+	nw := wsn.MustDeploy(wsn.Config{N: 120, FieldSide: 200, Range: 30, Seed: 3})
 	sol, err := shdgp.Plan(shdgp.NewProblem(nw), shdgp.DefaultPlannerOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -60,7 +60,7 @@ func TestDESMobileMatchesAnalyticRoundTime(t *testing.T) {
 }
 
 func TestDESMobilePeakQueueMatchesAssignment(t *testing.T) {
-	nw := wsn.Deploy(wsn.Config{N: 100, FieldSide: 150, Range: 30, Seed: 4})
+	nw := wsn.MustDeploy(wsn.Config{N: 100, FieldSide: 150, Range: 30, Seed: 4})
 	sol, err := shdgp.Plan(shdgp.NewProblem(nw), shdgp.DefaultPlannerOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -145,7 +145,7 @@ func TestDESStaticStarContention(t *testing.T) {
 }
 
 func TestDESStaticAllPacketsArrive(t *testing.T) {
-	nw := wsn.Deploy(wsn.Config{N: 200, FieldSide: 200, Range: 30, Seed: 5})
+	nw := wsn.MustDeploy(wsn.Config{N: 200, FieldSide: 200, Range: 30, Seed: 5})
 	plan := routing.BuildPlan(nw)
 	rt, err := DESStaticRound(plan, 0.005)
 	if err != nil {
@@ -180,7 +180,7 @@ func TestDESStaticDisconnected(t *testing.T) {
 }
 
 func TestDESRejectsBadParams(t *testing.T) {
-	nw := wsn.Deploy(wsn.Config{N: 10, FieldSide: 100, Range: 30, Seed: 1})
+	nw := wsn.MustDeploy(wsn.Config{N: 10, FieldSide: 100, Range: 30, Seed: 1})
 	plan := routing.BuildPlan(nw)
 	if _, err := DESStaticRound(plan, 0); err == nil {
 		t.Fatal("zero delay accepted")

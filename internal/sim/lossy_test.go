@@ -13,7 +13,7 @@ import (
 
 func lossyPair(t *testing.T, seed uint64, rm radio.Model) (*LossyMobile, *LossyStatic, *wsn.Network) {
 	t.Helper()
-	nw := wsn.Deploy(wsn.Config{N: 150, FieldSide: 200, Range: 30, Seed: seed})
+	nw := wsn.MustDeploy(wsn.Config{N: 150, FieldSide: 200, Range: 30, Seed: seed})
 	sol, err := shdgp.Plan(shdgp.NewProblem(nw), shdgp.DefaultPlannerOptions())
 	if err != nil {
 		t.Fatal(err)

@@ -13,7 +13,7 @@ import (
 
 // testNet is a moderately dense field where all four schemes work.
 func testNet(seed uint64) *wsn.Network {
-	return wsn.Deploy(wsn.Config{N: 150, FieldSide: 200, Range: 30, Seed: seed})
+	return wsn.MustDeploy(wsn.Config{N: 150, FieldSide: 200, Range: 30, Seed: seed})
 }
 
 // smallBattery keeps lifetime runs to hundreds of rounds.
@@ -120,7 +120,7 @@ func TestStaticLatencyBeatsMobile(t *testing.T) {
 func TestCoverageSemantics(t *testing.T) {
 	// Mobile schemes serve everyone; static and straight-line may strand
 	// sensors in sparse fields.
-	nw := wsn.Deploy(wsn.Config{N: 60, FieldSide: 500, Range: 25, Placement: wsn.Clustered, Clusters: 4, Seed: 6})
+	nw := wsn.MustDeploy(wsn.Config{N: 60, FieldSide: 500, Range: 25, Placement: wsn.Clustered, Clusters: 4, Seed: 6})
 	sol, err := shdgp.Plan(shdgp.NewProblem(nw), shdgp.DefaultPlannerOptions())
 	if err != nil {
 		t.Fatal(err)

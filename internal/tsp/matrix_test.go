@@ -144,15 +144,19 @@ func TestTourPoints(t *testing.T) {
 }
 
 func TestConstructionString(t *testing.T) {
-	names := map[Construction]string{
-		ConstructNN:         "nearest-neighbor",
-		ConstructGreedy:     "greedy-edge",
-		ConstructCheapest:   "cheapest-insertion",
-		ConstructHull:       "hull-insertion",
-		ConstructDoubleTree: "double-tree",
-		Construction(99):    "Construction(99)",
+	names := []struct {
+		c    Construction
+		want string
+	}{
+		{ConstructNN, "nearest-neighbor"},
+		{ConstructGreedy, "greedy-edge"},
+		{ConstructCheapest, "cheapest-insertion"},
+		{ConstructHull, "hull-insertion"},
+		{ConstructDoubleTree, "double-tree"},
+		{Construction(99), "Construction(99)"},
 	}
-	for c, want := range names {
+	for _, tc := range names {
+		c, want := tc.c, tc.want
 		if c.String() != want {
 			t.Fatalf("%d.String() = %q", int(c), c.String())
 		}

@@ -84,6 +84,7 @@ func Solve(pts []geom.Point, opts Options) Tour {
 	case ConstructChristofides:
 		t = Christofides(pts)
 	default:
+		//mdglint:ignore nopanic exhaustive switch over a closed enum; a new variant must fail loudly in tests
 		panic(fmt.Sprintf("tsp: unknown construction %v", opts.Construction))
 	}
 	if opts.TwoOpt {

@@ -68,19 +68,27 @@ func TestRotateTo(t *testing.T) {
 	}
 }
 
-func constructions() map[string]func([]geom.Point) Tour {
-	return map[string]func([]geom.Point) Tour{
-		"nn":       func(p []geom.Point) Tour { return NearestNeighbor(p, 0) },
-		"greedy":   GreedyEdge,
-		"cheapest": CheapestInsertion,
-		"hull":     HullInsertion,
-		"dtree":    DoubleTree,
+type namedConstruction struct {
+	name  string
+	build func([]geom.Point) Tour
+}
+
+// constructions returns the heuristics in a fixed order so tests iterate
+// deterministically (map order would randomize failure reporting).
+func constructions() []namedConstruction {
+	return []namedConstruction{
+		{"nn", func(p []geom.Point) Tour { return NearestNeighbor(p, 0) }},
+		{"greedy", GreedyEdge},
+		{"cheapest", CheapestInsertion},
+		{"hull", HullInsertion},
+		{"dtree", DoubleTree},
 	}
 }
 
 func TestConstructionsProduceValidTours(t *testing.T) {
 	s := rng.New(50)
-	for name, build := range constructions() {
+	for _, c := range constructions() {
+		name, build := c.name, c.build
 		for _, n := range []int{1, 2, 3, 4, 5, 10, 40, 120} {
 			pts := randPts(s, n, 100)
 			tour := build(pts)
@@ -92,7 +100,8 @@ func TestConstructionsProduceValidTours(t *testing.T) {
 }
 
 func TestConstructionsOnSquare(t *testing.T) {
-	for name, build := range constructions() {
+	for _, c := range constructions() {
+		name, build := c.name, c.build
 		tour := build(square4)
 		if got := tour.Length(square4); math.Abs(got-4) > 1e-9 {
 			t.Fatalf("%s on unit square: length %v, want 4", name, got)
@@ -340,7 +349,8 @@ func TestQuickLocalSearchInvariants(t *testing.T) {
 
 func TestCollinearPoints(t *testing.T) {
 	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0), geom.Pt(4, 0)}
-	for name, build := range constructions() {
+	for _, c := range constructions() {
+		name, build := c.name, c.build
 		tour := build(pts)
 		if err := tour.Validate(5); err != nil {
 			t.Fatalf("%s collinear: %v", name, err)
@@ -355,7 +365,8 @@ func TestCollinearPoints(t *testing.T) {
 
 func TestDuplicatePoints(t *testing.T) {
 	pts := []geom.Point{geom.Pt(1, 1), geom.Pt(1, 1), geom.Pt(5, 5), geom.Pt(1, 1), geom.Pt(9, 2)}
-	for name, build := range constructions() {
+	for _, c := range constructions() {
+		name, build := c.name, c.build
 		tour := build(pts)
 		if err := tour.Validate(5); err != nil {
 			t.Fatalf("%s duplicates: %v", name, err)

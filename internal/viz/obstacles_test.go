@@ -17,7 +17,10 @@ func TestRenderObstacleTour(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nw := obstacle.DeployAround(wsn.Config{N: 60, FieldSide: 200, Range: 30, Seed: 5}, course)
+	nw, err := obstacle.DeployAround(wsn.Config{N: 60, FieldSide: 200, Range: 30, Seed: 5}, course)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tour, err := obstacle.PlanTour(nw, course)
 	if err != nil {
 		t.Fatal(err)
@@ -43,7 +46,7 @@ func TestRenderObstacleTourNilTour(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nw := wsn.Deploy(wsn.Config{N: 10, FieldSide: 100, Range: 30, Seed: 1})
+	nw := wsn.MustDeploy(wsn.Config{N: 10, FieldSide: 100, Range: 30, Seed: 1})
 	var buf bytes.Buffer
 	if err := RenderObstacleTour(&buf, nw, course, nil, Style{}); err != nil {
 		t.Fatal(err)

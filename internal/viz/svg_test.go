@@ -10,7 +10,7 @@ import (
 )
 
 func TestRenderTourWellFormed(t *testing.T) {
-	nw := wsn.Deploy(wsn.Config{N: 60, FieldSide: 150, Range: 25, Seed: 2})
+	nw := wsn.MustDeploy(wsn.Config{N: 60, FieldSide: 150, Range: 25, Seed: 2})
 	sol, err := shdgp.Plan(shdgp.NewProblem(nw), shdgp.DefaultPlannerOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -35,7 +35,7 @@ func TestRenderTourWellFormed(t *testing.T) {
 }
 
 func TestRenderTourNilPlan(t *testing.T) {
-	nw := wsn.Deploy(wsn.Config{N: 20, FieldSide: 100, Range: 25, Seed: 3})
+	nw := wsn.MustDeploy(wsn.Config{N: 20, FieldSide: 100, Range: 25, Seed: 3})
 	var buf bytes.Buffer
 	if err := RenderTour(&buf, nw, nil, Style{}); err != nil {
 		t.Fatal(err)

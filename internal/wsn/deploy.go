@@ -62,16 +62,16 @@ type Config struct {
 }
 
 // Deploy generates a network according to cfg. The same cfg always yields
-// the same network.
-func Deploy(cfg Config) *Network {
+// the same network. Invalid configurations are reported as errors.
+func Deploy(cfg Config) (*Network, error) {
 	if cfg.N < 0 {
-		panic("wsn: negative sensor count")
+		return nil, fmt.Errorf("wsn: negative sensor count %d", cfg.N)
 	}
 	if cfg.FieldSide <= 0 {
-		panic("wsn: non-positive field side")
+		return nil, fmt.Errorf("wsn: non-positive field side %v", cfg.FieldSide)
 	}
 	if cfg.Range <= 0 {
-		panic("wsn: non-positive transmission range")
+		return nil, fmt.Errorf("wsn: non-positive transmission range %v", cfg.Range)
 	}
 	field := geom.Square(cfg.FieldSide)
 	s := rng.New(cfg.Seed)
@@ -90,13 +90,24 @@ func Deploy(cfg Config) *Network {
 	case Corridor:
 		pts = corridor(s, cfg.N, cfg.FieldSide)
 	default:
-		panic(fmt.Sprintf("wsn: unknown placement %v", cfg.Placement))
+		return nil, fmt.Errorf("wsn: unknown placement %v", cfg.Placement)
 	}
 	sink := field.Center()
 	if cfg.SinkAtCorner {
 		sink = field.Min
 	}
-	return New(pts, sink, cfg.Range, field)
+	return New(pts, sink, cfg.Range, field), nil
+}
+
+// MustDeploy is Deploy for known-good configurations (tests, examples,
+// fixed experiment tables). It panics on a config Deploy would reject.
+func MustDeploy(cfg Config) *Network {
+	nw, err := Deploy(cfg)
+	if err != nil {
+		//mdglint:ignore nopanic Must-variant for compile-time-constant configs, mirroring regexp.MustCompile
+		panic(err)
+	}
+	return nw
 }
 
 func gridJitter(s *rng.Source, n int, side float64) []geom.Point {

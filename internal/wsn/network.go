@@ -33,6 +33,7 @@ type Network struct {
 // New builds a network from explicit sensor positions.
 func New(positions []geom.Point, sink geom.Point, transmissionRange float64, field geom.Rect) *Network {
 	if transmissionRange <= 0 {
+		//mdglint:ignore nopanic documented precondition on a hand-built network; Deploy validates user configs and returns errors
 		panic("wsn: non-positive transmission range")
 	}
 	nodes := make([]Node, len(positions))

@@ -37,7 +37,7 @@ func TestGraphIsUnitDisk(t *testing.T) {
 }
 
 func TestGraphMatchesBruteForce(t *testing.T) {
-	nw := Deploy(Config{N: 150, FieldSide: 200, Range: 30, Seed: 7})
+	nw := MustDeploy(Config{N: 150, FieldSide: 200, Range: 30, Seed: 7})
 	g := nw.Graph()
 	for i := 0; i < nw.N(); i++ {
 		for j := i + 1; j < nw.N(); j++ {
@@ -70,14 +70,14 @@ func TestNeighborsOfExclude(t *testing.T) {
 
 func TestDeployDeterminism(t *testing.T) {
 	cfg := Config{N: 50, FieldSide: 100, Range: 20, Seed: 3}
-	a, b := Deploy(cfg), Deploy(cfg)
+	a, b := MustDeploy(cfg), MustDeploy(cfg)
 	for i := range a.Nodes {
 		if !a.Nodes[i].Pos.Eq(b.Nodes[i].Pos) {
 			t.Fatalf("deployment not deterministic at node %d", i)
 		}
 	}
 	cfg.Seed = 4
-	c := Deploy(cfg)
+	c := MustDeploy(cfg)
 	same := 0
 	for i := range a.Nodes {
 		if a.Nodes[i].Pos.Eq(c.Nodes[i].Pos) {
@@ -91,7 +91,7 @@ func TestDeployDeterminism(t *testing.T) {
 
 func TestDeployAllPlacementsInField(t *testing.T) {
 	for _, p := range []Placement{Uniform, GridJitter, Clustered, Ring, Corridor} {
-		nw := Deploy(Config{N: 120, FieldSide: 150, Range: 25, Placement: p, Seed: 9})
+		nw := MustDeploy(Config{N: 120, FieldSide: 150, Range: 25, Placement: p, Seed: 9})
 		if nw.N() != 120 {
 			t.Fatalf("%v: N = %d", p, nw.N())
 		}
@@ -104,11 +104,11 @@ func TestDeployAllPlacementsInField(t *testing.T) {
 }
 
 func TestSinkPlacement(t *testing.T) {
-	centre := Deploy(Config{N: 10, FieldSide: 100, Range: 20, Seed: 1})
+	centre := MustDeploy(Config{N: 10, FieldSide: 100, Range: 20, Seed: 1})
 	if !centre.Sink.Eq(geom.Pt(50, 50)) {
 		t.Fatalf("default sink = %v, want centre", centre.Sink)
 	}
-	corner := Deploy(Config{N: 10, FieldSide: 100, Range: 20, Seed: 1, SinkAtCorner: true})
+	corner := MustDeploy(Config{N: 10, FieldSide: 100, Range: 20, Seed: 1, SinkAtCorner: true})
 	if !corner.Sink.Eq(geom.Pt(0, 0)) {
 		t.Fatalf("corner sink = %v", corner.Sink)
 	}
@@ -138,7 +138,7 @@ func TestComponentsClusteredLikelyDisconnected(t *testing.T) {
 	// A sparse clustered deployment with a short range is essentially
 	// guaranteed to be disconnected; this exercises the multi-component
 	// path that mobile collection is designed for.
-	nw := Deploy(Config{N: 60, FieldSide: 500, Range: 20, Placement: Clustered, Clusters: 4, Seed: 11})
+	nw := MustDeploy(Config{N: 60, FieldSide: 500, Range: 20, Placement: Clustered, Clusters: 4, Seed: 11})
 	comps := nw.Components()
 	total := 0
 	for _, c := range comps {
@@ -153,8 +153,8 @@ func TestComponentsClusteredLikelyDisconnected(t *testing.T) {
 }
 
 func TestAvgDegreeScalesWithDensity(t *testing.T) {
-	sparse := Deploy(Config{N: 100, FieldSide: 400, Range: 25, Seed: 5})
-	dense := Deploy(Config{N: 400, FieldSide: 200, Range: 25, Seed: 5})
+	sparse := MustDeploy(Config{N: 100, FieldSide: 400, Range: 25, Seed: 5})
+	dense := MustDeploy(Config{N: 400, FieldSide: 200, Range: 25, Seed: 5})
 	if sparse.AvgDegree() >= dense.AvgDegree() {
 		t.Fatalf("sparse degree %v >= dense degree %v", sparse.AvgDegree(), dense.AvgDegree())
 	}
@@ -166,7 +166,7 @@ func TestAvgDegreeScalesWithDensity(t *testing.T) {
 }
 
 func TestJSONRoundTrip(t *testing.T) {
-	nw := Deploy(Config{N: 40, FieldSide: 120, Range: 22, Placement: Clustered, Seed: 13})
+	nw := MustDeploy(Config{N: 40, FieldSide: 120, Range: 22, Placement: Clustered, Seed: 13})
 	var buf bytes.Buffer
 	if err := nw.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
@@ -206,14 +206,14 @@ func TestDeployPanicsOnBadConfig(t *testing.T) {
 					t.Fatalf("config %+v did not panic", cfg)
 				}
 			}()
-			Deploy(cfg)
+			MustDeploy(cfg)
 		}()
 	}
 }
 
 // Property: every sensor covered by a point p is within Range of p.
 func TestQuickCoveredByWithinRange(t *testing.T) {
-	nw := Deploy(Config{N: 200, FieldSide: 200, Range: 30, Seed: 17})
+	nw := MustDeploy(Config{N: 200, FieldSide: 200, Range: 30, Seed: 17})
 	s := rng.New(18)
 	f := func() bool {
 		p := geom.Pt(s.Uniform(0, 200), s.Uniform(0, 200))
@@ -231,7 +231,7 @@ func TestQuickCoveredByWithinRange(t *testing.T) {
 
 func BenchmarkDeployAndGraph(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		nw := Deploy(Config{N: 500, FieldSide: 300, Range: 30, Seed: uint64(i)})
+		nw := MustDeploy(Config{N: 500, FieldSide: 300, Range: 30, Seed: uint64(i)})
 		nw.Graph()
 	}
 }

@@ -13,7 +13,7 @@
 //
 // # Quick start
 //
-//	nw := mobicol.Deploy(mobicol.DeployConfig{N: 200, FieldSide: 200, Range: 30, Seed: 1})
+//	nw, err := mobicol.Deploy(mobicol.DeployConfig{N: 200, FieldSide: 200, Range: 30, Seed: 1})
 //	sol, err := mobicol.PlanTour(nw)       // heuristic SHDGP planner
 //	fmt.Println(sol.Length, sol.Stops())   // tour length (m), #polling points
 //
@@ -65,8 +65,14 @@ const (
 	Corridor   = wsn.Corridor
 )
 
-// Deploy generates a seeded random deployment.
-func Deploy(cfg DeployConfig) *Network { return wsn.Deploy(cfg) }
+// Deploy generates a seeded random deployment, rejecting invalid
+// configurations (negative N, non-positive field side or range, unknown
+// placement).
+func Deploy(cfg DeployConfig) (*Network, error) { return wsn.Deploy(cfg) }
+
+// MustDeploy is Deploy for known-good configurations; it panics where
+// Deploy would return an error.
+func MustDeploy(cfg DeployConfig) *Network { return wsn.MustDeploy(cfg) }
 
 // NewNetwork builds a network from explicit sensor positions.
 func NewNetwork(sensors []Point, sink Point, transmissionRange float64, fieldSide float64) *Network {
@@ -276,7 +282,7 @@ func PlanTourAround(nw *Network, course *ObstacleCourse) (*ObstacleTour, error) 
 
 // DeployAroundObstacles generates a deployment whose sensors avoid the
 // obstacle interiors (blocked draws are deterministically resampled).
-func DeployAroundObstacles(cfg DeployConfig, course *ObstacleCourse) *Network {
+func DeployAroundObstacles(cfg DeployConfig, course *ObstacleCourse) (*Network, error) {
 	return obstacle.DeployAround(cfg, course)
 }
 

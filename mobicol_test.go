@@ -6,7 +6,7 @@ import (
 )
 
 func testNet(seed uint64) *Network {
-	return Deploy(DeployConfig{N: 150, FieldSide: 200, Range: 30, Seed: seed})
+	return MustDeploy(DeployConfig{N: 150, FieldSide: 200, Range: 30, Seed: seed})
 }
 
 func TestPlanTourEndToEnd(t *testing.T) {
@@ -39,7 +39,7 @@ func TestPlanTourWithOptionsAndStrategies(t *testing.T) {
 }
 
 func TestPlanTourExactSmall(t *testing.T) {
-	nw := Deploy(DeployConfig{N: 12, FieldSide: 70, Range: 25, Seed: 3})
+	nw := MustDeploy(DeployConfig{N: 12, FieldSide: 70, Range: 25, Seed: 3})
 	ex, err := PlanTourExact(nw)
 	if err != nil {
 		t.Fatal(err)
