@@ -6,12 +6,15 @@ package mobicol
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+
+	"mobicol/internal/obs"
 )
 
 var (
@@ -106,6 +109,103 @@ func TestCLILifetime(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("mdglife output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestCLITraceDeterminism is the acceptance regression for the obs trace
+// contract: two mdgplan runs over the same deployment must produce
+// byte-identical JSONL traces once the wall-clock timing fields are
+// stripped, and the trace must actually cover the planner phases.
+func TestCLITraceDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	netPath := filepath.Join(dir, "net.json")
+	runCLI(t, nil, "wsngen", "-n", "90", "-seed", "11", "-o", netPath)
+
+	canonical := func(path string) []string {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lines []string
+		for _, line := range bytes.Split(raw, []byte("\n")) {
+			c, err := obs.CanonicalLine(line)
+			if err != nil {
+				t.Fatalf("unparseable trace line %q: %v", line, err)
+			}
+			if c != nil {
+				lines = append(lines, string(c))
+			}
+		}
+		return lines
+	}
+
+	tracePaths := [2]string{filepath.Join(dir, "t1.jsonl"), filepath.Join(dir, "t2.jsonl")}
+	for _, p := range tracePaths {
+		runCLI(t, nil, "mdgplan", "-net", netPath, "-algo", "shdg", "-trace", p, "-metrics")
+	}
+	first, second := canonical(tracePaths[0]), canonical(tracePaths[1])
+	if len(first) != len(second) {
+		t.Fatalf("trace lengths differ: %d vs %d lines", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("canonical traces diverge at line %d:\n  %s\n  %s", i+1, first[i], second[i])
+		}
+	}
+
+	spans := map[string]bool{}
+	metricNames := map[string]bool{}
+	for _, line := range first {
+		var ev struct {
+			Ev     string `json:"ev"`
+			Span   string `json:"span"`
+			Metric string `json:"metric"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("canonical line not JSON: %q: %v", line, err)
+		}
+		switch ev.Ev {
+		case "span":
+			spans[ev.Span] = true
+		case "metric":
+			metricNames[ev.Metric] = true
+		}
+	}
+	for _, want := range []string{"plan", "candidates", "cover", "tsp"} {
+		if !spans[want] {
+			t.Errorf("trace missing %q span; got spans %v", want, spans)
+		}
+	}
+	if len(metricNames) < 5 {
+		t.Errorf("want >= 5 distinct metrics in the trace, got %d: %v", len(metricNames), metricNames)
+	}
+}
+
+func TestCLIBenchArtifact(t *testing.T) {
+	benchPath := filepath.Join(t.TempDir(), "bench.json")
+	_, stderr := runCLI(t, nil, "mdgbench", "-e", "none", "-trials", "1", "-bench-out", benchPath)
+	if !strings.Contains(stderr, "wrote") {
+		t.Fatalf("mdgbench -bench-out stderr:\n%s", stderr)
+	}
+	raw, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Schema string `json:"schema"`
+		Algos  []struct {
+			Algo    string           `json:"algo"`
+			PhaseNs map[string]int64 `json:"phase_ns"`
+		} `json:"algos"`
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("bench artifact not JSON: %v", err)
+	}
+	if res.Schema != "mobicol/bench-planner/v1" || len(res.Algos) != 3 {
+		t.Fatalf("bench artifact = %+v", res)
+	}
+	if _, ok := res.Algos[0].PhaseNs["plan"]; !ok {
+		t.Fatalf("shdg row missing plan phase: %+v", res.Algos[0])
 	}
 }
 

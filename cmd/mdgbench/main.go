@@ -1,5 +1,6 @@
 // mdgbench regenerates the paper-reproduction experiment tables E1–E13
-// documented in DESIGN.md and EXPERIMENTS.md.
+// documented in DESIGN.md and EXPERIMENTS.md, and maintains the repo's
+// benchmark trajectory files.
 //
 // Usage:
 //
@@ -7,6 +8,8 @@
 //	mdgbench -e E2,E6      # selected experiments
 //	mdgbench -trials 500   # paper-scale averaging (slow)
 //	mdgbench -e E2 -csv    # machine-readable output for plotting
+//	mdgbench -e none -bench-out BENCH_planner.json
+//	                       # refresh the planner benchmark artifact only
 package main
 
 import (
@@ -16,22 +19,48 @@ import (
 	"strings"
 
 	"mobicol/internal/bench"
+	"mobicol/internal/obs"
 )
 
 func main() {
 	var (
-		exps   = flag.String("e", "all", "comma-separated experiment IDs (E1..E13) or all")
-		trials = flag.Int("trials", 30, "random topologies per parameter point (paper: 500)")
-		seed   = flag.Uint64("seed", 1, "base seed")
-		asCSV  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		exps     = flag.String("e", "all", "comma-separated experiment IDs (E1..E16), all, or none")
+		trials   = flag.Int("trials", 30, "random topologies per parameter point (paper: 500)")
+		seed     = flag.Uint64("seed", 1, "base seed")
+		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		benchOut = flag.String("bench-out", "", "write the planner benchmark (per-algo tour + per-phase durations) as JSON to this path")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
 	cfg := bench.Config{Trials: *trials, Seed: *seed}
 
+	prof, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdgbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "mdgbench: %v\n", err)
+		}
+	}()
+
+	if *benchOut != "" {
+		if err := writeBenchArtifact(*benchOut, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "mdgbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mdgbench: wrote %s\n", *benchOut)
+	}
+
 	var ids []string
-	if *exps == "all" {
+	switch *exps {
+	case "all":
 		ids = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
-	} else {
+	case "none":
+		// -bench-out without experiment tables.
+	default:
 		for _, id := range strings.Split(*exps, ",") {
 			ids = append(ids, strings.TrimSpace(strings.ToUpper(id)))
 		}
@@ -56,4 +85,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// writeBenchArtifact writes the planner benchmark JSON to path.
+func writeBenchArtifact(path string, cfg bench.Config) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WritePlannerBench(f, cfg); err != nil {
+		_ = f.Close() // already failing; the bench error is the one to report
+		return err
+	}
+	// Close errors on the output file are real data loss: report them.
+	return f.Close()
 }

@@ -17,6 +17,8 @@ import (
 	"mobicol/internal/baselines"
 	"mobicol/internal/collector"
 	"mobicol/internal/energy"
+	"mobicol/internal/obs"
+	"mobicol/internal/obs/report"
 	"mobicol/internal/routing"
 	"mobicol/internal/shdgp"
 	"mobicol/internal/sim"
@@ -38,8 +40,36 @@ func run() error {
 		speed   = flag.Float64("speed", 1, "collector speed (m/s)")
 		relay   = flag.Float64("relay", 0.005, "per-hop relay delay (s)")
 		horizon = flag.Int("horizon", 5_000_000, "maximum simulated rounds")
+		trace   = flag.String("trace", "", "write a JSONL span/metric trace to this path")
+		metrics = flag.Bool("metrics", false, "print a span/metric summary table to stderr")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
+
+	prof, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "mdglife: %v\n", err)
+		}
+	}()
+	tr, finishTrace, err := obs.CLITrace(*trace, *metrics)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := finishTrace(); err != nil {
+			fmt.Fprintf(os.Stderr, "mdglife: %v\n", err)
+		}
+		if *metrics {
+			if err := report.Write(os.Stderr, tr); err != nil {
+				fmt.Fprintf(os.Stderr, "mdglife: %v\n", err)
+			}
+		}
+	}()
 
 	var in io.Reader = os.Stdin
 	if *netPath != "-" {
@@ -56,7 +86,9 @@ func run() error {
 		return err
 	}
 
-	sol, err := shdgp.Plan(shdgp.NewProblem(nw), shdgp.DefaultPlannerOptions())
+	plannerOpts := shdgp.DefaultPlannerOptions()
+	plannerOpts.Obs = tr
+	sol, err := shdgp.Plan(shdgp.NewProblem(nw), plannerOpts)
 	if err != nil {
 		return err
 	}
@@ -83,7 +115,7 @@ func run() error {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "scheme\tlifetime(rounds)\tcoverage\tround latency(s)\ttour(m)\tresidual std(J)")
 	for _, s := range schemes {
-		res, err := sim.RunLifetime(s, nw.N(), model, *horizon)
+		res, err := sim.RunLifetimeObs(s, nw.N(), model, *horizon, tr)
 		if err != nil {
 			return err
 		}
@@ -95,5 +127,20 @@ func run() error {
 		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%.1f\t%.5f\n",
 			s.Name(), life, s.Coverage(), lat.Seconds, lat.TourM, res.Residual.Std)
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// One packet-granularity DES round over the planned tour: buffer
+	// occupancy at the busiest stop is the paper's motivation for
+	// bounding sensors per stop, and it reads straight off the trace.
+	desSpan := tr.Start("des")
+	rt, err := sim.DESMobileRoundObs(nw, sol.Plan, spec, desSpan)
+	desSpan.End()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ndes round (shdg): finish %.1f s, peak stop buffer %d packets\n",
+		rt.Finish, rt.MaxQueue())
+	return nil
 }

@@ -20,6 +20,8 @@ import (
 	"mobicol/internal/collector"
 	"mobicol/internal/cover"
 	"mobicol/internal/mtsp"
+	"mobicol/internal/obs"
+	"mobicol/internal/obs/report"
 	"mobicol/internal/obstacle"
 	"mobicol/internal/shdgp"
 	"mobicol/internal/tsp"
@@ -46,8 +48,36 @@ func run() error {
 		speed      = flag.Float64("speed", 1, "collector speed in m/s (latency report)")
 		obstPath   = flag.String("obstacles", "", "obstacle course JSON; plans the driven path around them")
 		jsonPath   = flag.String("json", "", "write the executable plan (stops + assignment) as JSON")
+		tracePath  = flag.String("trace", "", "write a JSONL span/metric trace to this path")
+		metrics    = flag.Bool("metrics", false, "print a span/metric summary table to stderr")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
+
+	prof, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "mdgplan: %v\n", err)
+		}
+	}()
+	tr, finishTrace, err := obs.CLITrace(*tracePath, *metrics)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := finishTrace(); err != nil {
+			fmt.Fprintf(os.Stderr, "mdgplan: %v\n", err)
+		}
+		if *metrics {
+			if err := report.Write(os.Stderr, tr); err != nil {
+				fmt.Fprintf(os.Stderr, "mdgplan: %v\n", err)
+			}
+		}
+	}()
 
 	var in io.Reader = os.Stdin
 	if *netPath != "-" {
@@ -83,15 +113,18 @@ func run() error {
 
 	var plan *collector.TourPlan
 	var label string
+	var sol *shdgp.Solution
 	switch *algo {
 	case "shdg":
-		sol, err := shdgp.Plan(p, shdgp.DefaultPlannerOptions())
+		opts := shdgp.DefaultPlannerOptions()
+		opts.Obs = tr
+		sol, err = shdgp.Plan(p, opts)
 		if err != nil {
 			return err
 		}
 		plan, label = sol.Plan, sol.Algorithm
 	case "exact":
-		sol, err := shdgp.PlanExact(p, shdgp.DefaultExactLimits())
+		sol, err = shdgp.PlanExact(p, shdgp.DefaultExactLimits())
 		if err != nil {
 			return err
 		}
@@ -100,7 +133,7 @@ func run() error {
 			fmt.Fprintln(os.Stderr, "mdgplan: warning: node cap tripped; solution may be suboptimal")
 		}
 	case "visit-all":
-		sol, err := shdgp.PlanVisitAll(p, tsp.DefaultOptions())
+		sol, err = shdgp.PlanVisitAll(p, tsp.DefaultOptions())
 		if err != nil {
 			return err
 		}
@@ -118,6 +151,12 @@ func run() error {
 	spec := collector.Spec{Speed: *speed, UploadTime: 0.1}
 	fmt.Printf("network:    %v\n", nw)
 	fmt.Printf("algorithm:  %s\n", label)
+	if sol != nil {
+		fmt.Printf("candidates: %d (%s strategy, %d sensors)\n",
+			sol.Stats.Candidates, p.Strategy, sol.Stats.Universe)
+		fmt.Printf("cover:      %d stops selected (%d after refinement), max %d sensors/stop\n",
+			sol.Stats.CoverStops, len(plan.Stops), sol.Stats.MaxSensorsPerStop)
+	}
 	fmt.Printf("stops:      %d\n", len(plan.Stops))
 	fmt.Printf("tour:       %.1f m\n", plan.Length())
 	fmt.Printf("served:     %d/%d sensors\n", plan.Served(), nw.N())

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mobicol/internal/baselines"
+	"mobicol/internal/obs"
+	"mobicol/internal/shdgp"
+	"mobicol/internal/tsp"
+)
+
+// PlannerAlgoBench is one algorithm's row in BENCH_planner.json.
+type PlannerAlgoBench struct {
+	Algo      string  `json:"algo"`
+	MeanTourM float64 `json:"mean_tour_m"`
+	MeanStops float64 `json:"mean_stops"`
+	// PhaseNs is the total wall time per span name across all trials,
+	// straight from the obs span summary ("plan" is the whole planner;
+	// "candidates"/"cover"/"refine"/"tsp" are its phases). Wall times
+	// are machine-dependent by nature; the deterministic columns are
+	// the tour lengths and stop counts.
+	PhaseNs map[string]int64 `json:"phase_ns"`
+	// Spans is the number of spans recorded per name (trial count for
+	// top-level phases; higher for per-pass spans like "twoopt").
+	Spans map[string]int `json:"spans"`
+}
+
+// PlannerBenchResult is the schema of BENCH_planner.json: per-algorithm
+// tour quality plus per-phase planning cost on a fixed instance family.
+type PlannerBenchResult struct {
+	Schema string             `json:"schema"`
+	Trials int                `json:"trials"`
+	Seed   uint64             `json:"seed"`
+	N      int                `json:"n"`
+	SideM  float64            `json:"side_m"`
+	RangeM float64            `json:"range_m"`
+	Algos  []PlannerAlgoBench `json:"algos"`
+}
+
+// PlannerBenchmarks measures the planners cfg.Trials times on the
+// standard 100-sensor deployment family and returns per-algo tour
+// quality plus per-phase span durations collected through internal/obs.
+func PlannerBenchmarks(cfg Config) (*PlannerBenchResult, error) {
+	const (
+		n    = 100
+		side = 200.0
+		rng  = 30.0
+	)
+	res := &PlannerBenchResult{
+		Schema: "mobicol/bench-planner/v1",
+		Trials: cfg.trials(),
+		Seed:   cfg.Seed,
+		N:      n,
+		SideM:  side,
+		RangeM: rng,
+	}
+	type algoRun struct {
+		name string
+		plan func(tr *obs.Trace, seed uint64) (tourM float64, stops int, err error)
+	}
+	algos := []algoRun{
+		{"shdg", func(tr *obs.Trace, seed uint64) (float64, int, error) {
+			opts := shdgp.DefaultPlannerOptions()
+			opts.Obs = tr
+			sol, err := shdgp.Plan(shdgp.NewProblem(deploy(n, side, rng, seed)), opts)
+			if err != nil {
+				return 0, 0, err
+			}
+			return sol.Length, sol.Stops(), nil
+		}},
+		{"visit-all", func(tr *obs.Trace, seed uint64) (float64, int, error) {
+			root := tr.Start("plan")
+			defer root.End()
+			opts := tsp.DefaultOptions()
+			opts.Obs = root.Child("tsp")
+			sol, err := shdgp.PlanVisitAll(shdgp.NewProblem(deploy(n, side, rng, seed)), opts)
+			opts.Obs.End()
+			if err != nil {
+				return 0, 0, err
+			}
+			return sol.Length, sol.Stops(), nil
+		}},
+		{"cla", func(tr *obs.Trace, seed uint64) (float64, int, error) {
+			root := tr.Start("plan")
+			defer root.End()
+			plan, err := baselines.PlanCLA(deploy(n, side, rng, seed))
+			if err != nil {
+				return 0, 0, err
+			}
+			return plan.Length(), len(plan.Stops), nil
+		}},
+	}
+	for _, a := range algos {
+		tr := obs.New(nil) // aggregate-only: we want the span summary
+		sumTour, sumStops := 0.0, 0
+		for i := 0; i < cfg.trials(); i++ {
+			tourM, stops, err := a.plan(tr, cfg.Seed+uint64(i))
+			if err != nil {
+				return nil, fmt.Errorf("bench: planner %s: %w", a.name, err)
+			}
+			sumTour += tourM
+			sumStops += stops
+		}
+		if err := tr.Close(); err != nil {
+			return nil, err
+		}
+		row := PlannerAlgoBench{
+			Algo:      a.name,
+			MeanTourM: sumTour / float64(cfg.trials()),
+			MeanStops: float64(sumStops) / float64(cfg.trials()),
+			PhaseNs:   make(map[string]int64),
+			Spans:     make(map[string]int),
+		}
+		for _, st := range tr.Summary() {
+			row.PhaseNs[st.Name] = st.TotalNs
+			row.Spans[st.Name] = st.Count
+		}
+		res.Algos = append(res.Algos, row)
+	}
+	return res, nil
+}
+
+// WritePlannerBench runs PlannerBenchmarks and writes the result as
+// indented JSON (the BENCH_planner.json artifact).
+func WritePlannerBench(w io.Writer, cfg Config) error {
+	res, err := PlannerBenchmarks(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

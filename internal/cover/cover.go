@@ -14,6 +14,7 @@ import (
 
 	"mobicol/internal/bitset"
 	"mobicol/internal/geom"
+	"mobicol/internal/obs"
 )
 
 // Instance is a set-cover instance: Covers[c] is the set of sensor indices
@@ -124,9 +125,20 @@ func (in *Instance) Err() error {
 // indices in selection order. Greedy is the classic (1 + ln n)
 // approximation for set cover.
 func (in *Instance) Greedy(tieBreak geom.Point) ([]int, error) {
+	return in.GreedyObs(tieBreak, nil)
+}
+
+// GreedyObs is Greedy with observability: when sp is non-nil it records
+// the instance size as span fields, each greedy iteration into the
+// "cover.greedy_iters" counter, and the per-pick coverage gain into the
+// "cover.gain" histogram — the distribution the paper's ln n bound is
+// about. A nil span makes it identical to Greedy.
+func (in *Instance) GreedyObs(tieBreak geom.Point, sp *obs.Span) ([]int, error) {
 	if err := in.Err(); err != nil {
 		return nil, err
 	}
+	sp.SetInt("candidates", int64(len(in.Candidates)))
+	sp.SetInt("universe", int64(in.Universe))
 	uncovered := bitset.New(in.Universe)
 	uncovered.Fill()
 	var chosen []int
@@ -149,7 +161,10 @@ func (in *Instance) Greedy(tieBreak geom.Point) ([]int, error) {
 		}
 		chosen = append(chosen, best)
 		uncovered.AndNot(in.Covers[best])
+		sp.Count("cover.greedy_iters", 1)
+		sp.Observe("cover.gain", float64(bestGain))
 	}
+	sp.SetInt("chosen", int64(len(chosen)))
 	return chosen, nil
 }
 

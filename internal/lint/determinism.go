@@ -13,7 +13,7 @@ import (
 // Go's randomized iteration order into tour construction, cover choices,
 // or metric emission.
 func determinismScoped(importPath string) bool {
-	for _, name := range []string{"sim", "des", "wsn", "cover", "tsp", "mtsp", "shdgp", "schedule", "routing"} {
+	for _, name := range []string{"sim", "des", "wsn", "cover", "tsp", "mtsp", "shdgp", "schedule", "routing", "obs"} {
 		if strings.HasSuffix(importPath, "/internal/"+name) {
 			return true
 		}
@@ -21,11 +21,23 @@ func determinismScoped(importPath string) bool {
 	return false
 }
 
+// timingAllowed is the wall-clock allowlist: internal/obs is the one
+// package permitted to call time.Now and friends, because its contract
+// confines every reading to the JSONL timing fields ("t_ns", "dur_ns")
+// that obs.CanonicalLine strips before determinism comparisons. Keeping
+// the allowlist to a single package means timing suppressions cannot
+// spread: any other package that wants a clock must route through obs.
+func timingAllowed(importPath string) bool {
+	return strings.HasSuffix(importPath, "/internal/obs")
+}
+
 // DeterminismAnalyzer flags sources of run-to-run nondeterminism:
 // math/rand and crypto/rand imports (all randomness must route through
 // internal/rng so seeds pin every draw), wall-clock reads (time.Now and
-// friends), and — in the simulation-critical packages — ranging over a
-// map, whose iteration order Go deliberately randomizes.
+// friends, allowlisted only in internal/obs whose trace format confines
+// them to strippable timing fields), and — in the simulation-critical
+// packages, internal/obs included — ranging over a map, whose iteration
+// order Go deliberately randomizes.
 func DeterminismAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "determinism",
@@ -54,11 +66,11 @@ func runDeterminism(pass *Pass) {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.SelectorExpr:
-				if pkgName(pass, n) == "time" {
+				if pkgName(pass, n) == "time" && !timingAllowed(pass.Pkg.ImportPath) {
 					switch n.Sel.Name {
 					case "Now", "Since", "Until":
 						pass.Reportf(n.Pos(),
-							"time.%s reads the wall clock; simulated time must come from the DES clock or round counters", n.Sel.Name)
+							"time.%s reads the wall clock; simulated time must come from the DES clock or round counters, and timing instrumentation must route through internal/obs (the allowlisted package)", n.Sel.Name)
 					}
 				}
 			case *ast.RangeStmt:

@@ -109,6 +109,35 @@ func TestDeterminismMapRuleOutOfScope(t *testing.T) {
 	}
 }
 
+func TestDeterminismTimingAllowlist(t *testing.T) {
+	// internal/obs is the one package allowed to read the wall clock
+	// (its timings live in strippable trace fields), so the time.Now /
+	// time.Since findings must vanish there — while the map-iteration
+	// and randomness rules keep firing, since obs output order is part
+	// of the trace determinism contract.
+	pkg := loadFixture(t, "determinism.go", "mobicol/internal/obs")
+	var wallClock, mapIter, randFindings int
+	for _, f := range Run([]*Package{pkg}, []*Analyzer{DeterminismAnalyzer()}) {
+		switch {
+		case strings.Contains(f.Message, "wall clock"):
+			wallClock++
+		case strings.Contains(f.Message, "map iteration"):
+			mapIter++
+		case strings.Contains(f.Message, "rand"):
+			randFindings++
+		}
+	}
+	if wallClock != 0 {
+		t.Errorf("wall-clock rule fired %d times inside the internal/obs allowlist", wallClock)
+	}
+	if mapIter == 0 {
+		t.Error("map-iteration rule must still apply inside internal/obs")
+	}
+	if randFindings == 0 {
+		t.Error("randomness rules must still apply inside internal/obs")
+	}
+}
+
 func TestFloatEqAnalyzer(t *testing.T) {
 	checkFixture(t, FloatEqAnalyzer(), "floateq.go", "mobicol/internal/fixture")
 }

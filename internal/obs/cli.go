@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// CLITrace materialises the -trace/-metrics flag pair the measurement
+// CLIs share: a JSONL file trace when path is non-empty, an
+// aggregate-only trace when only metrics is requested, and a nil trace
+// (all instrumentation disabled) when neither. The returned finish func
+// closes the trace and the file; call it exactly once before rendering
+// any -metrics report.
+func CLITrace(path string, metrics bool) (*Trace, func() error, error) {
+	if path == "" && !metrics {
+		return nil, func() error { return nil }, nil
+	}
+	if path == "" {
+		tr := New(nil)
+		return tr, tr.Close, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: trace file: %w", err)
+	}
+	tr := New(f)
+	finish := func() error {
+		closeErr := tr.Close()
+		// Close errors on the trace file are real data loss: report them.
+		if err := f.Close(); err != nil && closeErr == nil {
+			closeErr = err
+		}
+		return closeErr
+	}
+	return tr, finish, nil
+}

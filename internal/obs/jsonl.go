@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// This file defines the trace wire format: one JSON object per line,
+// keys hand-encoded in a fixed order so that byte-for-byte comparison
+// of canonicalised traces is meaningful.
+//
+// Event shapes:
+//
+//	{"ev":"span","seq":4,"span":"cover","id":3,"parent":1,
+//	 "fields":{"chosen":12,...},"t_ns":1234,"dur_ns":5678}
+//	{"ev":"metric","seq":9,"metric":"cover.gain","type":"hist",
+//	 "count":12,"sum":80,"min":1,"max":20,"bounds":[...],"counts":[...]}
+//	{"ev":"metric","seq":10,"metric":"planner.stops","type":"gauge","value":12}
+//
+// Determinism contract: TimingKeys lists the only keys whose values may
+// differ between two runs of the same seeded computation; CanonicalLine
+// removes them. Everything else — including "seq", which is assigned in
+// event order — must be identical across runs, and the cli_test
+// double-run regression test enforces exactly that.
+
+// TimingKeys returns the JSONL keys that carry wall-clock readings and
+// are therefore excluded from determinism comparisons.
+func TimingKeys() []string { return []string{"t_ns", "dur_ns"} }
+
+// CanonicalLine parses one trace line and re-encodes it without the
+// timing keys and with all remaining keys sorted, so equal semantic
+// content yields equal bytes regardless of when it was recorded.
+func CanonicalLine(line []byte) ([]byte, error) {
+	if len(bytes.TrimSpace(line)) == 0 {
+		return nil, nil
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(line, &m); err != nil {
+		return nil, fmt.Errorf("obs: bad trace line: %w", err)
+	}
+	for _, k := range TimingKeys() {
+		delete(m, k)
+	}
+	keys := make([]string, 0, len(m))
+	//mdglint:ignore determinism keys are collected and then sorted; the canonical encoding is map-order independent
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(kb)
+		buf.WriteByte(':')
+		buf.Write(m[k])
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// jsonlBuf accumulates one hand-ordered JSON object line.
+type jsonlBuf struct {
+	buf   bytes.Buffer
+	first bool
+}
+
+func newLine() *jsonlBuf {
+	b := &jsonlBuf{first: true}
+	b.buf.WriteByte('{')
+	return b
+}
+
+func (b *jsonlBuf) key(k string) {
+	if !b.first {
+		b.buf.WriteByte(',')
+	}
+	b.first = false
+	b.buf.WriteByte('"')
+	b.buf.WriteString(k) // keys are controlled identifiers; no escaping needed
+	b.buf.WriteString(`":`)
+}
+
+func (b *jsonlBuf) str(k, v string) {
+	b.key(k)
+	vb, err := json.Marshal(v)
+	if err != nil {
+		// Marshalling a string cannot fail; keep the line well-formed anyway.
+		vb = []byte(`""`)
+	}
+	b.buf.Write(vb)
+}
+
+func (b *jsonlBuf) int(k string, v int64) {
+	b.key(k)
+	b.buf.WriteString(strconv.FormatInt(v, 10))
+}
+
+func (b *jsonlBuf) float(k string, v float64) {
+	b.key(k)
+	b.buf.WriteString(formatFloat(v))
+}
+
+func (b *jsonlBuf) floats(k string, vs []float64) {
+	b.key(k)
+	b.buf.WriteByte('[')
+	for i, v := range vs {
+		if i > 0 {
+			b.buf.WriteByte(',')
+		}
+		b.buf.WriteString(formatFloat(v))
+	}
+	b.buf.WriteByte(']')
+}
+
+func (b *jsonlBuf) ints(k string, vs []int64) {
+	b.key(k)
+	b.buf.WriteByte('[')
+	for i, v := range vs {
+		if i > 0 {
+			b.buf.WriteByte(',')
+		}
+		b.buf.WriteString(strconv.FormatInt(v, 10))
+	}
+	b.buf.WriteByte(']')
+}
+
+func (b *jsonlBuf) done() []byte {
+	b.buf.WriteString("}\n")
+	return b.buf.Bytes()
+}
+
+// formatFloat encodes a float deterministically as valid JSON. The
+// shortest round-trip form ('g', -1) is canonical; non-finite values,
+// which JSON cannot carry as numbers, become quoted strings.
+func formatFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return strconv.Quote(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	// 'g' can produce exponent forms like "1e+06", which are valid JSON.
+	return s
+}
+
+// encodeSpan renders a span-end event.
+func encodeSpan(seq int, s *Span, tNs, durNs int64) []byte {
+	b := newLine()
+	b.str("ev", "span")
+	b.int("seq", int64(seq))
+	b.str("span", s.name)
+	b.int("id", int64(s.id))
+	if s.parent != 0 {
+		b.int("parent", int64(s.parent))
+	}
+	if len(s.fields) > 0 {
+		b.key("fields")
+		b.buf.WriteByte('{')
+		for i, f := range s.fields {
+			if i > 0 {
+				b.buf.WriteByte(',')
+			}
+			kb, err := json.Marshal(f.Key)
+			if err != nil {
+				kb = []byte(`""`)
+			}
+			b.buf.Write(kb)
+			b.buf.WriteByte(':')
+			switch f.kind {
+			case fieldInt:
+				b.buf.WriteString(strconv.FormatInt(f.i, 10))
+			case fieldFloat:
+				b.buf.WriteString(formatFloat(f.f))
+			case fieldStr:
+				vb, err := json.Marshal(f.s)
+				if err != nil {
+					vb = []byte(`""`)
+				}
+				b.buf.Write(vb)
+			}
+		}
+		b.buf.WriteByte('}')
+	}
+	// Timing keys last, and only here: everything above is deterministic.
+	b.int("t_ns", tNs)
+	b.int("dur_ns", durNs)
+	return b.done()
+}
+
+// encodeCounter renders one counter metric event.
+func encodeCounter(seq int, c CounterSnap) []byte {
+	b := newLine()
+	b.str("ev", "metric")
+	b.int("seq", int64(seq))
+	b.str("metric", c.Name)
+	b.str("type", "counter")
+	b.int("value", c.Value)
+	return b.done()
+}
+
+// encodeGauge renders one gauge metric event.
+func encodeGauge(seq int, g GaugeSnap) []byte {
+	b := newLine()
+	b.str("ev", "metric")
+	b.int("seq", int64(seq))
+	b.str("metric", g.Name)
+	b.str("type", "gauge")
+	b.float("value", g.Value)
+	return b.done()
+}
+
+// encodeHist renders one histogram metric event.
+func encodeHist(seq int, h HistSnap) []byte {
+	b := newLine()
+	b.str("ev", "metric")
+	b.int("seq", int64(seq))
+	b.str("metric", h.Name)
+	b.str("type", "hist")
+	b.int("count", h.Count)
+	b.float("sum", h.Sum)
+	if h.Count > 0 {
+		b.float("min", h.Min)
+		b.float("max", h.Max)
+	}
+	b.floats("bounds", h.Bounds)
+	b.ints("counts", h.Counts)
+	return b.done()
+}

@@ -1,0 +1,198 @@
+// Package obs is the repo's observability layer: hierarchical phase
+// spans, typed metrics, and a deterministic JSONL event sink for the
+// planner and simulator hot paths.
+//
+// Design constraints, in order:
+//
+//  1. Determinism. Every instrumented package (cover, tsp, shdgp, sim)
+//     is subject to the mdglint determinism gate: two runs on the same
+//     seed must produce identical algorithmic output. Trace events
+//     therefore separate *semantic* fields (span names, ids, sequence
+//     numbers, counters — all derived from the algorithm's own state)
+//     from *timing* fields. Timing is carried exclusively in the keys
+//     "t_ns" and "dur_ns", and CanonicalLine strips exactly those, so
+//     two traces of the same run compare equal after canonicalisation.
+//     This package is the only one allowed to read the wall clock (the
+//     determinism analyzer's allowlist enforces that), and the clock
+//     never influences which events are emitted or in what order.
+//
+//  2. Zero cost when disabled. Every method is safe on nil receivers:
+//     a nil *Trace yields nil *Span children and nil metrics, and all
+//     their methods are no-ops, so instrumented hot paths pay one
+//     pointer test per call when tracing is off.
+//
+//  3. Stdlib only, like the rest of the module.
+//
+// Typical wiring (see cmd/mdgplan):
+//
+//	tr, _ := obs.New(file)          // or obs.New(nil) for aggregate-only
+//	opts.Obs = tr
+//	... run the planner ...
+//	err := tr.Close()               // flush events + metric snapshot
+//	report.Write(os.Stderr, tr)     // human summary table
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace owns an event stream and its metric registry. The zero value is
+// not useful; construct with New. All methods are nil-safe and
+// goroutine-safe.
+type Trace struct {
+	mu     sync.Mutex
+	w      io.Writer // nil: aggregate-only (summary + registry, no JSONL)
+	reg    *Registry
+	start  time.Time
+	nextID int // span ids, 1-based; 0 means "no parent"
+	seq    int // event sequence numbers, 1-based
+	err    error
+	closed bool
+	agg    map[string]*SpanStat
+}
+
+// New returns a Trace writing JSONL events to w. A nil w is valid and
+// keeps only in-memory aggregates (span summary and metric registry),
+// which is what -metrics without -trace uses.
+func New(w io.Writer) *Trace {
+	// time.Now is legal here and only here: internal/obs is the
+	// determinism analyzer's wall-clock allowlist, and every reading
+	// ends up in the strippable t_ns/dur_ns fields.
+	return &Trace{
+		w:     w,
+		reg:   NewRegistry(),
+		start: time.Now(),
+		agg:   make(map[string]*SpanStat),
+	}
+}
+
+// Registry returns the trace's metric registry (nil for a nil trace).
+func (t *Trace) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Start opens a root-level span. End it to emit its event.
+func (t *Trace) Start(name string) *Span {
+	return t.newSpan(name, 0)
+}
+
+func (t *Trace) newSpan(name string, parent int) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &Span{
+		t:      t,
+		name:   name,
+		id:     id,
+		parent: parent,
+		begin:  time.Now(),
+	}
+}
+
+// SpanStat is one row of the span summary: how often a span name was
+// entered and the total wall time spent inside it.
+type SpanStat struct {
+	Name    string
+	Count   int
+	TotalNs int64
+}
+
+// Summary returns per-span-name aggregates sorted by name. It is valid
+// before and after Close, and returns nil for a nil trace.
+func (t *Trace) Summary() []SpanStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.agg))
+	//mdglint:ignore determinism keys are collected and then sorted; the emitted order is independent of map iteration order
+	for name := range t.agg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]SpanStat, 0, len(names))
+	for _, name := range names {
+		out = append(out, *t.agg[name])
+	}
+	return out
+}
+
+// Err returns the first write error the trace encountered (nil-safe).
+func (t *Trace) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close emits one "metric" event per registry entry (sorted by name, so
+// the tail of the trace is deterministic) and returns the first error
+// seen on the stream. Closing a nil or already-closed trace is a no-op.
+func (t *Trace) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
+	snap := t.reg.Snapshot()
+	for _, c := range snap.Counters {
+		t.emitLocked(encodeCounter(t.nextSeqLocked(), c))
+	}
+	for _, g := range snap.Gauges {
+		t.emitLocked(encodeGauge(t.nextSeqLocked(), g))
+	}
+	for _, h := range snap.Hists {
+		t.emitLocked(encodeHist(t.nextSeqLocked(), h))
+	}
+	return t.err
+}
+
+func (t *Trace) nextSeqLocked() int {
+	t.seq++
+	return t.seq
+}
+
+// emitLocked writes one already-encoded JSONL line. Callers hold t.mu.
+func (t *Trace) emitLocked(line []byte) {
+	if t.w == nil || t.err != nil {
+		return
+	}
+	if _, err := t.w.Write(line); err != nil {
+		t.err = fmt.Errorf("obs: trace write: %w", err)
+	}
+}
+
+// endSpan records the span's aggregate and emits its event.
+func (t *Trace) endSpan(s *Span) {
+	now := time.Now()
+	durNs := now.Sub(s.begin).Nanoseconds()
+	tNs := s.begin.Sub(t.start).Nanoseconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.agg[s.name]
+	if st == nil {
+		st = &SpanStat{Name: s.name}
+		t.agg[s.name] = st
+	}
+	st.Count++
+	st.TotalNs += durNs
+	t.emitLocked(encodeSpan(t.nextSeqLocked(), s, tNs, durNs))
+}

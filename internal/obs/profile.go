@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles manages the optional -cpuprofile/-memprofile outputs the
+// measurement CLIs expose. Either path may be empty; Stop is nil-safe,
+// so the CLIs can unconditionally defer it.
+type Profiles struct {
+	cpu     *os.File
+	memPath string
+}
+
+// StartProfiles begins CPU profiling into cpuPath (when non-empty) and
+// remembers memPath for a heap snapshot at Stop. On error nothing is
+// left running and no files are leaked.
+func StartProfiles(cpuPath, memPath string) (*Profiles, error) {
+	p := &Profiles{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close() // the profile error is the one to report
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		p.cpu = f
+	}
+	return p, nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile. It returns
+// the first error; call it exactly once (idempotent on the CPU side
+// because the file handle is cleared).
+func (p *Profiles) Stop() error {
+	if p == nil {
+		return nil
+	}
+	var first error
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			first = fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		p.cpu = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("obs: mem profile: %w", err)
+			}
+			return first
+		}
+		runtime.GC() // materialise a settled heap before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+			first = fmt.Errorf("obs: mem profile: %w", err)
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = fmt.Errorf("obs: mem profile: %w", err)
+		}
+		p.memPath = ""
+	}
+	return first
+}

@@ -1,0 +1,50 @@
+// Package report renders an obs.Trace as a human-readable summary: one
+// table of span timings and one of metrics. The CLIs print it to stderr
+// under -metrics so it composes with stdout pipelines.
+package report
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"mobicol/internal/obs"
+)
+
+// Write renders the trace's span summary and metric snapshot to w.
+// A nil trace writes nothing.
+func Write(w io.Writer, tr *obs.Trace) error {
+	if tr == nil {
+		return nil
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	spans := tr.Summary()
+	if len(spans) > 0 {
+		fmt.Fprintln(tw, "span\tcount\ttotal(ms)\tmean(ms)")
+		for _, s := range spans {
+			total := float64(s.TotalNs) / 1e6
+			fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\n", s.Name, s.Count, total, total/float64(s.Count))
+		}
+	}
+	snap := tr.Registry().Snapshot()
+	if snap.Len() > 0 {
+		if len(spans) > 0 {
+			fmt.Fprintln(tw, "\t\t\t")
+		}
+		fmt.Fprintln(tw, "metric\ttype\tvalue\tdetail")
+		for _, c := range snap.Counters {
+			fmt.Fprintf(tw, "%s\tcounter\t%d\t\n", c.Name, c.Value)
+		}
+		for _, g := range snap.Gauges {
+			fmt.Fprintf(tw, "%s\tgauge\t%g\t\n", g.Name, g.Value)
+		}
+		for _, h := range snap.Hists {
+			detail := ""
+			if h.Count > 0 {
+				detail = fmt.Sprintf("mean %.3g min %.3g max %.3g", h.Sum/float64(h.Count), h.Min, h.Max)
+			}
+			fmt.Fprintf(tw, "%s\thist\tn=%d\t%s\n", h.Name, h.Count, detail)
+		}
+	}
+	return tw.Flush()
+}

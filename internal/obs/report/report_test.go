@@ -1,0 +1,40 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"mobicol/internal/obs"
+)
+
+func TestWriteRendersSpansAndMetrics(t *testing.T) {
+	tr := obs.New(nil)
+	sp := tr.Start("cover")
+	sp.Count("cover.iters", 7)
+	sp.Gauge("planner.stops", 12)
+	sp.Observe("cover.gain", 4)
+	sp.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Write(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"span", "cover", "metric", "cover.iters", "planner.stops", "cover.gain", "counter", "gauge", "hist"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteNilTrace(t *testing.T) {
+	var b strings.Builder
+	if err := Write(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("nil trace wrote %q", b.String())
+	}
+}

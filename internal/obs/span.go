@@ -1,0 +1,108 @@
+package obs
+
+import "time"
+
+// Span is one timed phase of a computation. Spans form a tree (Child),
+// carry ordered semantic fields set by the instrumented code, and emit a
+// single JSONL event when ended. All methods are no-ops on a nil span,
+// so call sites never branch on whether tracing is enabled.
+//
+// A span's id and parent id are assigned in Start order; because the
+// instrumented algorithms are deterministic, the ids — unlike the
+// timestamps — are part of the deterministic event content.
+type Span struct {
+	t      *Trace
+	name   string
+	id     int
+	parent int
+	begin  time.Time
+	fields []Field
+	ended  bool
+}
+
+// fieldKind discriminates the Field union.
+type fieldKind int
+
+const (
+	fieldInt fieldKind = iota
+	fieldFloat
+	fieldStr
+)
+
+// Field is one key/value pair attached to a span, kept in insertion
+// order so the encoded event is reproducible.
+type Field struct {
+	Key  string
+	kind fieldKind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Child opens a sub-span under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(name, s.id)
+}
+
+// SetInt attaches an integer field (deterministic event content).
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.fields = append(s.fields, Field{Key: key, kind: fieldInt, i: v})
+}
+
+// SetFloat attaches a float field (deterministic event content; encoded
+// with the shortest round-trip representation).
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.fields = append(s.fields, Field{Key: key, kind: fieldFloat, f: v})
+}
+
+// SetStr attaches a string field.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.fields = append(s.fields, Field{Key: key, kind: fieldStr, s: v})
+}
+
+// Count adds delta to the named counter in the trace's registry.
+func (s *Span) Count(name string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.t.Registry().Counter(name).Add(delta)
+}
+
+// Gauge sets the named gauge in the trace's registry.
+func (s *Span) Gauge(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.t.Registry().Gauge(name).Set(v)
+}
+
+// Observe records v into the named histogram in the trace's registry
+// (created with default buckets on first use).
+func (s *Span) Observe(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.t.Registry().Histogram(name, nil).Observe(v)
+}
+
+// End closes the span, aggregates its duration, and emits its event.
+// Ending twice (or ending a nil span) is a no-op.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.t.endSpan(s)
+}

@@ -6,6 +6,7 @@ import (
 	"mobicol/internal/bitset"
 	"mobicol/internal/cover"
 	"mobicol/internal/geom"
+	"mobicol/internal/obs"
 	"mobicol/internal/tsp"
 )
 
@@ -20,6 +21,9 @@ type PlannerOptions struct {
 	// ExactCover uses the exact minimum-cardinality cover instead of
 	// greedy (small instances only; greedy is the default at scale).
 	ExactCover bool
+	// Obs, when non-nil, receives per-phase spans (candidates, cover,
+	// refine, tsp) and planner metrics. Nil disables tracing.
+	Obs *obs.Trace
 }
 
 // DefaultPlannerOptions is the configuration the experiments label
@@ -37,33 +41,68 @@ func DefaultPlannerOptions() PlannerOptions {
 //     and relocate each stop to the candidate that covers the same
 //     critical sensors with the smallest tour detour.
 func Plan(p *Problem, opts PlannerOptions) (*Solution, error) {
+	root := opts.Obs.Start("plan")
+	defer root.End()
+
+	spCand := root.Child("candidates")
 	inst, err := p.Instance()
 	if err != nil {
+		spCand.End()
 		return nil, err
 	}
+	spCand.SetStr("strategy", p.Strategy.String())
+	spCand.SetInt("candidates", int64(len(inst.Candidates)))
+	spCand.SetInt("universe", int64(inst.Universe))
+	spCand.Gauge("cover.candidates", float64(len(inst.Candidates)))
+	spCand.End()
+
+	spCover := root.Child("cover")
 	var chosen []int
 	if opts.ExactCover {
 		chosen, _, err = inst.ExactMin(2_000_000)
+		spCover.SetInt("chosen", int64(len(chosen)))
 	} else {
-		chosen, err = inst.Greedy(p.Net.Sink)
+		chosen, err = inst.GreedyObs(p.Net.Sink, spCover)
 	}
+	spCover.End()
 	if err != nil {
 		return nil, err
 	}
+	coverStops := len(chosen)
+
 	if opts.Refine {
 		passes := opts.RefinePasses
 		if passes <= 0 {
 			passes = 3
 		}
+		spRefine := root.Child("refine")
+		ran := 0
 		for pass := 0; pass < passes; pass++ {
+			ran++
 			changed := dropRedundant(inst, &chosen)
 			changed = relocateStops(p, inst, chosen) || changed
 			if !changed {
 				break
 			}
 		}
+		spRefine.SetInt("passes", int64(ran))
+		spRefine.SetInt("dropped", int64(coverStops-len(chosen)))
+		spRefine.End()
 	}
-	sol := buildSolution(p, inst, chosen, opts.TSP, algorithmName(opts))
+
+	spTSP := root.Child("tsp")
+	tspOpts := opts.TSP
+	tspOpts.Obs = spTSP
+	sol := buildSolution(p, inst, chosen, tspOpts, algorithmName(opts))
+	spTSP.SetInt("stops", int64(len(chosen)))
+	spTSP.SetFloat("tour_m", sol.Length)
+	spTSP.End()
+
+	sol.Stats.Candidates = len(inst.Candidates)
+	sol.Stats.Universe = inst.Universe
+	sol.Stats.CoverStops = coverStops
+	root.Gauge("planner.stops", float64(len(sol.Plan.Stops)))
+	root.Gauge("planner.tour_m", sol.Length)
 	return sol, nil
 }
 

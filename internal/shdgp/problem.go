@@ -67,6 +67,27 @@ type Solution struct {
 	Exact bool
 	// Algorithm names the planner that produced the solution.
 	Algorithm string
+	// Stats summarises the covering phase for reporting.
+	Stats PlanStats
+}
+
+// PlanStats carries the candidate-generation and cover statistics the
+// CLIs report alongside the tour: how large the instance was, how many
+// stops the cover phase picked before refinement, and how loaded the
+// busiest stop is (the buffer-sizing number from the paper's single-hop
+// argument).
+type PlanStats struct {
+	// Candidates is the number of candidate stop positions that cover
+	// at least one sensor.
+	Candidates int
+	// Universe is the number of sensors to cover.
+	Universe int
+	// CoverStops is the cover size before refinement (== final stop
+	// count when refinement is off or changed nothing).
+	CoverStops int
+	// MaxSensorsPerStop is the largest number of sensors assigned to
+	// upload at a single stop.
+	MaxSensorsPerStop int
 }
 
 // Stops returns the number of polling points (excluding the sink).
@@ -132,9 +153,25 @@ func buildSolution(p *Problem, inst *cover.Instance, chosen []int, opts tsp.Opti
 		}
 	}
 	plan := &collector.TourPlan{Sink: p.Net.Sink, Stops: orderedStops, UploadAt: uploadAt}
+	perStop := make([]int, len(orderedStops))
+	maxPerStop := 0
+	for _, s := range uploadAt {
+		if s >= 0 {
+			perStop[s]++
+			if perStop[s] > maxPerStop {
+				maxPerStop = perStop[s]
+			}
+		}
+	}
 	return &Solution{
 		Plan:      plan,
 		Length:    plan.Length(),
 		Algorithm: algorithm,
+		Stats: PlanStats{
+			Candidates:        len(inst.Candidates),
+			Universe:          inst.Universe,
+			CoverStops:        len(chosen),
+			MaxSensorsPerStop: maxPerStop,
+		},
 	}
 }

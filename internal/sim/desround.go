@@ -5,6 +5,7 @@ import (
 
 	"mobicol/internal/collector"
 	"mobicol/internal/des"
+	"mobicol/internal/obs"
 	"mobicol/internal/routing"
 	"mobicol/internal/wsn"
 )
@@ -57,6 +58,14 @@ func (rt *RoundTrace) MeanDone() float64 {
 // PeakQueue is per stop: how many packets sat buffered there when the
 // collector arrived — exactly the polling point's required buffer.
 func DESMobileRound(nw *wsn.Network, plan *collector.TourPlan, spec collector.Spec) (*RoundTrace, error) {
+	return DESMobileRoundObs(nw, plan, spec, nil)
+}
+
+// DESMobileRoundObs is DESMobileRound with observability: a "des.mobile"
+// span carrying the dispatched-event count and simulated finish time,
+// the "des.events" counter, and the per-stop peak buffer occupancy in
+// the "des.queue_peak" histogram. A nil span disables tracing.
+func DESMobileRoundObs(nw *wsn.Network, plan *collector.TourPlan, spec collector.Spec, sp *obs.Span) (*RoundTrace, error) {
 	if spec.Speed <= 0 {
 		return nil, fmt.Errorf("sim: non-positive collector speed")
 	}
@@ -95,7 +104,28 @@ func DESMobileRound(nw *wsn.Network, plan *collector.TourPlan, spec collector.Sp
 	if _, drained := sim.Run(0); !drained {
 		return nil, fmt.Errorf("sim: mobile round did not drain")
 	}
+	recordDESRound(sp, "des.mobile", sim, rt)
 	return rt, nil
+}
+
+// recordDESRound attaches one DES round's outcome to sp: events
+// dispatched (span field + "des.events" counter), the simulated finish
+// time, and per-node/stop peak queue depths in "des.queue_peak". All of
+// it is derived from simulator state, so the event content stays
+// deterministic. No-op when sp is nil.
+func recordDESRound(sp *obs.Span, name string, sim *des.Simulator, rt *RoundTrace) {
+	if sp == nil {
+		return
+	}
+	child := sp.Child(name)
+	child.SetInt("events", int64(sim.Steps()))
+	child.SetFloat("finish_s", rt.Finish)
+	child.SetInt("queue_max", int64(rt.MaxQueue()))
+	child.Count("des.events", int64(sim.Steps()))
+	for _, q := range rt.PeakQueue {
+		child.Observe("des.queue_peak", float64(q))
+	}
+	child.End()
 }
 
 // DESStaticRound simulates one static-sink round with store-and-forward
@@ -105,6 +135,12 @@ func DESMobileRound(nw *wsn.Network, plan *collector.TourPlan, spec collector.Sp
 // this captures the serialisation at sink-adjacent relays, which dominates
 // in dense fields.
 func DESStaticRound(plan *routing.Plan, perHopDelay float64) (*RoundTrace, error) {
+	return DESStaticRoundObs(plan, perHopDelay, nil)
+}
+
+// DESStaticRoundObs is DESStaticRound with the same observability
+// contract as DESMobileRoundObs, under a "des.static" span.
+func DESStaticRoundObs(plan *routing.Plan, perHopDelay float64, sp *obs.Span) (*RoundTrace, error) {
 	if perHopDelay <= 0 {
 		return nil, fmt.Errorf("sim: non-positive per-hop delay")
 	}
@@ -170,5 +206,6 @@ func DESStaticRound(plan *routing.Plan, perHopDelay float64) (*RoundTrace, error
 	if _, drained := sim.Run(50_000_000); !drained {
 		return nil, fmt.Errorf("sim: static round exceeded event budget")
 	}
+	recordDESRound(sp, "des.static", sim, rt)
 	return rt, nil
 }

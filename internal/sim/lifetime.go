@@ -5,6 +5,7 @@ import (
 
 	"mobicol/internal/collector"
 	"mobicol/internal/energy"
+	"mobicol/internal/obs"
 )
 
 // LifetimeResult summarises a lifetime simulation.
@@ -27,9 +28,22 @@ type LifetimeResult struct {
 // model's InitialJ sets the battery size; callers shrink it to keep round
 // counts tractable.
 func RunLifetime(scheme Scheme, n int, model energy.Model, maxRounds int) (*LifetimeResult, error) {
+	return RunLifetimeObs(scheme, n, model, maxRounds, nil)
+}
+
+// RunLifetimeObs is RunLifetime with observability: when tr is non-nil
+// it wraps the simulation in a "lifetime" span (scheme, rounds, died),
+// accumulates rounds into the "sim.rounds" counter, and records the
+// final per-node residual energies into the "sim.residual_j" histogram
+// — the uniformity distribution the paper's lifetime argument rests on.
+// A nil trace makes it identical to RunLifetime.
+func RunLifetimeObs(scheme Scheme, n int, model energy.Model, maxRounds int, tr *obs.Trace) (*LifetimeResult, error) {
 	if maxRounds <= 0 {
 		return nil, fmt.Errorf("sim: non-positive round horizon %d", maxRounds)
 	}
+	sp := tr.Start("lifetime")
+	defer sp.End()
+	sp.SetStr("scheme", scheme.Name())
 	led := energy.NewLedger(n, model)
 	rounds := 0
 	for rounds < maxRounds {
@@ -50,7 +64,25 @@ func RunLifetime(scheme Scheme, n int, model energy.Model, maxRounds int) (*Life
 	} else {
 		res.AliveFraction = 1
 	}
+	sp.SetInt("rounds", int64(rounds))
+	sp.SetInt("died", boolInt(res.Died))
+	sp.Count("sim.rounds", int64(rounds))
+	if tr != nil {
+		// Bucket residuals on a fixed fraction-of-battery ladder so
+		// histograms from different battery sizes stay comparable.
+		h := tr.Registry().Histogram("sim.residual_j", obs.LinearBuckets(0, model.InitialJ/8, 8))
+		for _, e := range led.Residual {
+			h.Observe(e)
+		}
+	}
 	return res, nil
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // LatencyResult summarises per-round collection latency.

@@ -20,8 +20,11 @@ type Summary struct {
 }
 
 // Summarize computes a Summary over xs. An empty sample yields the zero
-// Summary.
+// Summary. NaN samples are rejected before any statistic is computed —
+// a single NaN would otherwise poison the mean, std, and every
+// percentile — so a sample of only NaNs also yields the zero Summary.
 func Summarize(xs []float64) Summary {
+	xs = dropNaN(xs)
 	n := len(xs)
 	if n == 0 {
 		return Summary{}
@@ -71,6 +74,23 @@ func Percentile(sorted []float64, p float64) float64 {
 	}
 	frac := rank - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// dropNaN returns xs without NaN entries. The common all-finite case
+// returns xs unchanged without allocating.
+func dropNaN(xs []float64) []float64 {
+	for i, x := range xs {
+		if math.IsNaN(x) {
+			clean := append([]float64(nil), xs[:i]...)
+			for _, y := range xs[i+1:] {
+				if !math.IsNaN(y) {
+					clean = append(clean, y)
+				}
+			}
+			return clean
+		}
+	}
+	return xs
 }
 
 // Mean returns the arithmetic mean (0 for empty).

@@ -33,6 +33,37 @@ func TestSummarizeEmptyAndSingleton(t *testing.T) {
 	}
 }
 
+func TestSummarizeRejectsNaN(t *testing.T) {
+	// NaN samples are dropped, not propagated: the summary over
+	// {1, NaN, 3} must equal the summary over {1, 3}.
+	s := Summarize([]float64{1, math.NaN(), 3})
+	if s.N != 2 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Fatalf("NaN not rejected: %+v", s)
+	}
+	if math.IsNaN(s.Std) || math.IsNaN(s.Median) {
+		t.Fatalf("NaN leaked into derived statistics: %+v", s)
+	}
+	// An all-NaN sample degenerates to the empty summary.
+	if s := Summarize([]float64{math.NaN(), math.NaN()}); s.N != 0 {
+		t.Fatalf("all-NaN sample = %+v, want zero Summary", s)
+	}
+	// The input slice must not be mutated by the filtering.
+	xs := []float64{math.NaN(), 5}
+	_ = Summarize(xs)
+	if !math.IsNaN(xs[0]) || xs[1] != 5 {
+		t.Fatalf("Summarize mutated its input: %v", xs)
+	}
+}
+
+func TestPercentileSingleSample(t *testing.T) {
+	// Every percentile of a single sample is that sample.
+	for _, p := range []float64{0, 10, 50, 90, 100} {
+		if got := Percentile([]float64{42}, p); got != 42 {
+			t.Fatalf("P%v of singleton = %v, want 42", p, got)
+		}
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	sorted := []float64{0, 10, 20, 30, 40}
 	cases := []struct{ p, want float64 }{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mobicol/internal/geom"
+	"mobicol/internal/obs"
 )
 
 // Construction selects the tour-construction heuristic.
@@ -50,6 +51,10 @@ type Options struct {
 	TwoOpt       bool // run 2-opt local search
 	OrOpt        bool // run Or-opt local search (after 2-opt)
 	ExactBelow   int  // use Held–Karp when n <= ExactBelow (and <= HeldKarpMax)
+	// Obs, when non-nil, receives one child span per solver stage
+	// (construction and each improvement pass) with the tour-length
+	// delta each stage contributed. Nil disables tracing at zero cost.
+	Obs *obs.Span
 }
 
 // DefaultOptions is the configuration the planners use: greedy-edge
@@ -66,9 +71,15 @@ func Solve(pts []geom.Point, opts Options) Tour {
 	}
 	if opts.ExactBelow > 0 && n <= opts.ExactBelow && n <= HeldKarpMax {
 		if t, err := HeldKarp(pts); err == nil {
+			sp := opts.Obs.Child("construct")
+			sp.SetStr("method", "held-karp")
+			sp.SetInt("n", int64(n))
+			sp.SetFloat("len", t.Length(pts))
+			sp.End()
 			return t
 		}
 	}
+	sp := opts.Obs.Child("construct")
 	var t Tour
 	switch opts.Construction {
 	case ConstructNN:
@@ -87,16 +98,42 @@ func Solve(pts []geom.Point, opts Options) Tour {
 		//mdglint:ignore nopanic exhaustive switch over a closed enum; a new variant must fail loudly in tests
 		panic(fmt.Sprintf("tsp: unknown construction %v", opts.Construction))
 	}
+	// Length recomputation is O(n); only pay for it when traced.
+	if opts.Obs != nil {
+		sp.SetStr("method", opts.Construction.String())
+		sp.SetInt("n", int64(n))
+		sp.SetFloat("len", t.Length(pts))
+	}
+	sp.End()
 	if opts.TwoOpt {
-		TwoOpt(pts, t)
+		improvePass(pts, t, opts.Obs, "twoopt", "tsp.twoopt_moves", TwoOpt)
 	}
 	if opts.OrOpt {
-		OrOpt(pts, t)
+		improvePass(pts, t, opts.Obs, "oropt", "tsp.oropt_moves", OrOpt)
 		if opts.TwoOpt {
 			// Or-opt moves can open new 2-opt improvements; one more
 			// pass is cheap and usually closes them.
-			TwoOpt(pts, t)
+			improvePass(pts, t, opts.Obs, "twoopt", "tsp.twoopt_moves", TwoOpt)
 		}
 	}
 	return t
+}
+
+// improvePass runs one local-search pass, recording — when traced — the
+// pass's span with its move count and the tour-length delta it bought,
+// plus a running counter of improvement moves per neighbourhood.
+func improvePass(pts []geom.Point, t Tour, parent *obs.Span, name, counter string, pass func([]geom.Point, Tour) int) {
+	if parent == nil {
+		pass(pts, t)
+		return
+	}
+	sp := parent.Child(name)
+	before := t.Length(pts)
+	moves := pass(pts, t)
+	after := t.Length(pts)
+	sp.SetInt("moves", int64(moves))
+	sp.SetFloat("delta", before-after)
+	sp.SetFloat("len", after)
+	sp.Count(counter, int64(moves))
+	sp.End()
 }
