@@ -27,13 +27,15 @@ func main() {
 		exps     = flag.String("e", "all", "comma-separated experiment IDs (E1..E16), all, or none")
 		trials   = flag.Int("trials", 30, "random topologies per parameter point (paper: 500)")
 		seed     = flag.Uint64("seed", 1, "base seed")
+		workers  = flag.Int("workers", 0, "worker pool size for per-trial fan-out (0 = one per CPU, 1 = sequential; results are identical either way)")
+		benchN   = flag.Int("bench-n", 0, "deployment size for the -bench-out planner benchmark (0 = default 100; field side scales to hold density)")
 		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		benchOut = flag.String("bench-out", "", "write the planner benchmark (per-algo tour + per-phase durations) as JSON to this path")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
-	cfg := bench.Config{Trials: *trials, Seed: *seed}
+	cfg := bench.Config{Trials: *trials, Seed: *seed, Workers: *workers, BenchN: *benchN}
 
 	prof, err := obs.StartProfiles(*cpuProf, *memProf)
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"mobicol/internal/energy"
 	"mobicol/internal/obs"
 	"mobicol/internal/obs/report"
+	"mobicol/internal/par"
 	"mobicol/internal/routing"
 	"mobicol/internal/shdgp"
 	"mobicol/internal/sim"
@@ -42,6 +43,7 @@ func run() error {
 		horizon = flag.Int("horizon", 5_000_000, "maximum simulated rounds")
 		trace   = flag.String("trace", "", "write a JSONL span/metric trace to this path")
 		metrics = flag.Bool("metrics", false, "print a span/metric summary table to stderr")
+		workers = flag.Int("workers", 0, "planner worker pool size (0 = one per CPU, 1 = sequential; the plan is identical either way)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf = flag.String("memprofile", "", "write a heap profile to this path")
 	)
@@ -88,7 +90,9 @@ func run() error {
 
 	plannerOpts := shdgp.DefaultPlannerOptions()
 	plannerOpts.Obs = tr
-	sol, err := shdgp.Plan(shdgp.NewProblem(nw), plannerOpts)
+	problem := shdgp.NewProblem(nw)
+	problem.Pool = par.Workers(*workers)
+	sol, err := shdgp.Plan(problem, plannerOpts)
 	if err != nil {
 		return err
 	}

@@ -23,6 +23,7 @@ import (
 	"mobicol/internal/obs"
 	"mobicol/internal/obs/report"
 	"mobicol/internal/obstacle"
+	"mobicol/internal/par"
 	"mobicol/internal/shdgp"
 	"mobicol/internal/tsp"
 	"mobicol/internal/viz"
@@ -50,6 +51,7 @@ func run() error {
 		jsonPath   = flag.String("json", "", "write the executable plan (stops + assignment) as JSON")
 		tracePath  = flag.String("trace", "", "write a JSONL span/metric trace to this path")
 		metrics    = flag.Bool("metrics", false, "print a span/metric summary table to stderr")
+		workers    = flag.Int("workers", 0, "planner worker pool size (0 = one per CPU, 1 = sequential; the plan is identical either way)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this path")
 	)
@@ -99,6 +101,7 @@ func run() error {
 	}
 
 	p := shdgp.NewProblem(nw)
+	p.Pool = par.Workers(*workers)
 	switch *candidates {
 	case "sites":
 		p.Strategy = cover.SensorSites

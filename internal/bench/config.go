@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"mobicol/internal/par"
 	"mobicol/internal/shdgp"
 	"mobicol/internal/tsp"
 	"mobicol/internal/wsn"
@@ -17,6 +18,15 @@ type Config struct {
 	Seed uint64
 	// Quick shrinks sweep ranges for use inside testing.B loops.
 	Quick bool
+	// Workers bounds the harness's per-trial fan-out: 1 runs trials
+	// sequentially, n > 1 uses n workers, and <= 0 selects one worker
+	// per CPU. Every value produces identical tables and quality fields
+	// (trial seeds are fixed per index and reductions are ordered).
+	Workers int
+	// BenchN overrides the planner benchmark's deployment size
+	// (default 100, the paper's evaluation setting); the field side
+	// scales to keep density constant.
+	BenchN int
 }
 
 // DefaultConfig runs 30 trials per point.
@@ -30,6 +40,15 @@ func (c Config) trials() int {
 		return 30
 	}
 	return c.Trials
+}
+
+func (c Config) pool() par.Pool { return par.Workers(c.Workers) }
+
+func (c Config) benchN() int {
+	if c.BenchN <= 0 {
+		return 100
+	}
+	return c.BenchN
 }
 
 // deploy builds the trial's network. The experiment tables only use

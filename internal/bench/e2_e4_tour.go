@@ -4,33 +4,47 @@ import (
 	"fmt"
 
 	"mobicol/internal/baselines"
+	"mobicol/internal/par"
 	"mobicol/internal/shdgp"
 	"mobicol/internal/stats"
 	"mobicol/internal/tsp"
 )
 
-// tourRow gathers the three schemes' tour lengths for one parameter point.
+// tourRow gathers the three schemes' tour lengths for one parameter
+// point. Trials fan out across the config's pool; per-trial seeds are
+// fixed by trial index and the means fold in index order, so the row is
+// identical for every pool size.
 func tourRow(cfg Config, n int, side, r float64, tag uint64) (shdg, visitAll, cla float64, stops float64, err error) {
-	var sl, vl, cl, st []float64
-	for trial := 0; trial < cfg.trials(); trial++ {
+	type trialOut struct {
+		shdg, visitAll, cla, stops float64
+		err                        error
+	}
+	outs := par.Map(cfg.pool(), cfg.trials(), func(trial int) trialOut {
 		seed := cfg.Seed + uint64(trial)*7919 + tag
 		nw := deploy(n, side, r, seed)
 		sol, err := planSHDG(nw)
 		if err != nil {
-			return 0, 0, 0, 0, err
+			return trialOut{err: err}
 		}
 		all, err := shdgp.PlanVisitAll(shdgp.NewProblem(nw), tsp.Options{Construction: tsp.ConstructGreedy, TwoOpt: true})
 		if err != nil {
-			return 0, 0, 0, 0, err
+			return trialOut{err: err}
 		}
 		claPlan, err := baselines.PlanCLA(nw)
 		if err != nil {
-			return 0, 0, 0, 0, err
+			return trialOut{err: err}
 		}
-		sl = append(sl, sol.Length)
-		vl = append(vl, all.Length)
-		cl = append(cl, claPlan.Length())
-		st = append(st, float64(sol.Stops()))
+		return trialOut{shdg: sol.Length, visitAll: all.Length, cla: claPlan.Length(), stops: float64(sol.Stops())}
+	})
+	var sl, vl, cl, st []float64
+	for _, o := range outs {
+		if o.err != nil {
+			return 0, 0, 0, 0, o.err
+		}
+		sl = append(sl, o.shdg)
+		vl = append(vl, o.visitAll)
+		cl = append(cl, o.cla)
+		st = append(st, o.stops)
 	}
 	return stats.Mean(sl), stats.Mean(vl), stats.Mean(cl), stats.Mean(st), nil
 }

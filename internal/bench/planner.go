@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"mobicol/internal/baselines"
 	"mobicol/internal/obs"
+	"mobicol/internal/par"
 	"mobicol/internal/shdgp"
 	"mobicol/internal/tsp"
 )
@@ -40,14 +42,14 @@ type PlannerBenchResult struct {
 }
 
 // PlannerBenchmarks measures the planners cfg.Trials times on the
-// standard 100-sensor deployment family and returns per-algo tour
-// quality plus per-phase span durations collected through internal/obs.
+// standard deployment family (cfg.BenchN sensors, default 100, with the
+// field side scaled to hold density at the paper's evaluation setting)
+// and returns per-algo tour quality plus per-phase span durations
+// collected through internal/obs.
 func PlannerBenchmarks(cfg Config) (*PlannerBenchResult, error) {
-	const (
-		n    = 100
-		side = 200.0
-		rng  = 30.0
-	)
+	n := cfg.benchN()
+	side := 200.0 * math.Sqrt(float64(n)/100.0)
+	const rng = 30.0
 	res := &PlannerBenchResult{
 		Schema: "mobicol/bench-planner/v1",
 		Trials: cfg.trials(),
@@ -92,16 +94,28 @@ func PlannerBenchmarks(cfg Config) (*PlannerBenchResult, error) {
 			return plan.Length(), len(plan.Stops), nil
 		}},
 	}
+	type trialOut struct {
+		tourM float64
+		stops int
+		err   error
+	}
 	for _, a := range algos {
 		tr := obs.New(nil) // aggregate-only: we want the span summary
-		sumTour, sumStops := 0.0, 0
-		for i := 0; i < cfg.trials(); i++ {
+		// Trials fan out across the pool: seeds are fixed per trial index,
+		// the shared aggregate-only trace is goroutine-safe and its summary
+		// is order-insensitive, and the sums fold in index order — so the
+		// quality fields are identical for every pool size.
+		outs := par.Map(cfg.pool(), cfg.trials(), func(i int) trialOut {
 			tourM, stops, err := a.plan(tr, cfg.Seed+uint64(i))
-			if err != nil {
-				return nil, fmt.Errorf("bench: planner %s: %w", a.name, err)
+			return trialOut{tourM: tourM, stops: stops, err: err}
+		})
+		sumTour, sumStops := 0.0, 0
+		for _, o := range outs {
+			if o.err != nil {
+				return nil, fmt.Errorf("bench: planner %s: %w", a.name, o.err)
 			}
-			sumTour += tourM
-			sumStops += stops
+			sumTour += o.tourM
+			sumStops += o.stops
 		}
 		if err := tr.Close(); err != nil {
 			return nil, err

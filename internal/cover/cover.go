@@ -15,6 +15,7 @@ import (
 	"mobicol/internal/bitset"
 	"mobicol/internal/geom"
 	"mobicol/internal/obs"
+	"mobicol/internal/par"
 )
 
 // Instance is a set-cover instance: Covers[c] is the set of sensor indices
@@ -33,11 +34,19 @@ type Instance struct {
 // candidate positions, and transmission range. Candidates that cover no
 // sensor are dropped (a stop there could never be useful).
 func NewInstance(sensors []geom.Point, candidates []geom.Point, r float64) *Instance {
+	return NewInstancePool(sensors, candidates, r, par.Seq())
+}
+
+// NewInstancePool is NewInstance with candidate-cover construction spread
+// across the given worker pool. Every candidate's cover is computed
+// independently and the kept candidates are reduced in input order, so the
+// instance is identical for any pool size.
+func NewInstancePool(sensors []geom.Point, candidates []geom.Point, r float64, pool par.Pool) *Instance {
 	radii := make([]float64, len(sensors))
 	for i := range radii {
 		radii[i] = r
 	}
-	return NewInstanceRadii(sensors, radii, candidates)
+	return NewInstanceRadiiPool(sensors, radii, candidates, pool)
 }
 
 // NewInstanceRadii builds a covering instance with per-sensor
@@ -46,6 +55,14 @@ func NewInstance(sensors []geom.Point, candidates []geom.Point, r float64) *Inst
 // amplifiers; the uniform-range instance is the special case of equal
 // radii.
 func NewInstanceRadii(sensors []geom.Point, radii []float64, candidates []geom.Point) *Instance {
+	return NewInstanceRadiiPool(sensors, radii, candidates, par.Seq())
+}
+
+// NewInstanceRadiiPool is NewInstanceRadii across a worker pool: the
+// per-candidate cover computations are embarrassingly parallel, and the
+// ordered reduction keeps the candidate numbering byte-identical to the
+// sequential construction.
+func NewInstanceRadiiPool(sensors []geom.Point, radii []float64, candidates []geom.Point, pool par.Pool) *Instance {
 	if len(radii) != len(sensors) {
 		return &Instance{Universe: len(sensors),
 			err: fmt.Errorf("cover: %d radii for %d sensors", len(radii), len(sensors))}
@@ -65,22 +82,33 @@ func NewInstanceRadii(sensors []geom.Point, radii []float64, candidates []geom.P
 		return inst
 	}
 	idx := geom.NewGridIndex(sensors, maxR)
-	buf := make([]int, 0, 64)
-	for _, c := range candidates {
-		buf = idx.Within(c, maxR, buf[:0])
-		var set *bitset.Set
-		for _, s := range buf {
-			if sensors[s].Dist2(c) <= radii[s]*radii[s]+geom.Eps {
-				if set == nil {
-					set = bitset.New(len(sensors))
+	// Each chunk owns a reusable query buffer and writes only its own
+	// slots of sets; the grid index is read-only and safe to share.
+	sets := make([]*bitset.Set, len(candidates))
+	pool.ForChunks(len(candidates), func(lo, hi int) {
+		buf := make([]int, 0, 64)
+		for ci := lo; ci < hi; ci++ {
+			c := candidates[ci]
+			buf = idx.Within(c, maxR, buf[:0])
+			var set *bitset.Set
+			for _, s := range buf {
+				if sensors[s].Dist2(c) <= radii[s]*radii[s]+geom.Eps {
+					if set == nil {
+						set = bitset.New(len(sensors))
+					}
+					set.Add(s)
 				}
-				set.Add(s)
 			}
+			sets[ci] = set
 		}
+	})
+	// Ordered reduction: keep useful candidates in input order, exactly as
+	// the sequential append loop did.
+	for ci, set := range sets {
 		if set == nil {
 			continue
 		}
-		inst.Candidates = append(inst.Candidates, c)
+		inst.Candidates = append(inst.Candidates, candidates[ci])
 		inst.Covers = append(inst.Covers, set)
 	}
 	return inst
@@ -130,9 +158,16 @@ func (in *Instance) Greedy(tieBreak geom.Point) ([]int, error) {
 
 // GreedyObs is Greedy with observability: when sp is non-nil it records
 // the instance size as span fields, each greedy iteration into the
-// "cover.greedy_iters" counter, and the per-pick coverage gain into the
+// "cover.greedy_iters" counter, the per-pick coverage gain into the
 // "cover.gain" histogram — the distribution the paper's ln n bound is
-// about. A nil span makes it identical to Greedy.
+// about — and the number of lazy-gain recomputations into
+// "cover.celf_reevals". A nil span makes it identical to Greedy.
+//
+// The selection runs as CELF lazy greedy (see celf.go): submodularity of
+// coverage gain lets cached gains serve as upper bounds, so each pick
+// re-evaluates only the few candidates whose cached gain still tops the
+// heap instead of rescanning every candidate. The pick sequence is
+// provably identical to the naive full-scan greedy.
 func (in *Instance) GreedyObs(tieBreak geom.Point, sp *obs.Span) ([]int, error) {
 	if err := in.Err(); err != nil {
 		return nil, err
@@ -141,29 +176,38 @@ func (in *Instance) GreedyObs(tieBreak geom.Point, sp *obs.Span) ([]int, error) 
 	sp.SetInt("universe", int64(in.Universe))
 	uncovered := bitset.New(in.Universe)
 	uncovered.Fill()
+
+	// Round 0: every candidate's gain against the full universe is just its
+	// cover size — no popcount against uncovered needed.
+	h := make(celfHeap, len(in.Covers))
+	for c, set := range in.Covers {
+		h[c] = celfEntry{cand: c, gain: set.Count(), dist: in.Candidates[c].Dist2(tieBreak)}
+	}
+	h.init()
+
 	var chosen []int
-	for uncovered.Count() > 0 {
-		best, bestGain := -1, 0
-		var bestDist float64
-		for c, set := range in.Covers {
-			gain := set.CountAnd(uncovered)
-			if gain == 0 {
-				continue
-			}
-			d := in.Candidates[c].Dist2(tieBreak)
-			if gain > bestGain || (gain == bestGain && d < bestDist) {
-				best, bestGain, bestDist = c, gain, d
-			}
+	reevals := int64(0)
+	for round := 0; uncovered.Count() > 0; round++ {
+		// Pop until the top entry's gain is fresh for this round. Gains
+		// are monotone non-increasing, so stale entries only over-rank;
+		// a fresh top is the exact naive argmax.
+		for len(h) > 0 && h[0].round != round {
+			h[0].gain = in.Covers[h[0].cand].CountAnd(uncovered)
+			h[0].round = round
+			h.siftDown(0)
+			reevals++
 		}
-		if best < 0 {
+		if len(h) == 0 || h[0].gain == 0 {
 			// Unreachable given the feasibility pre-check, but guard anyway.
 			return nil, fmt.Errorf("cover: greedy stalled with %d sensors uncovered", uncovered.Count())
 		}
-		chosen = append(chosen, best)
-		uncovered.AndNot(in.Covers[best])
+		best := h.popTop()
+		chosen = append(chosen, best.cand)
+		uncovered.AndNot(in.Covers[best.cand])
 		sp.Count("cover.greedy_iters", 1)
-		sp.Observe("cover.gain", float64(bestGain))
+		sp.Observe("cover.gain", float64(best.gain))
 	}
+	sp.Count("cover.celf_reevals", reevals)
 	sp.SetInt("chosen", int64(len(chosen)))
 	return chosen, nil
 }

@@ -13,7 +13,7 @@ import (
 // Go's randomized iteration order into tour construction, cover choices,
 // or metric emission.
 func determinismScoped(importPath string) bool {
-	for _, name := range []string{"sim", "des", "wsn", "cover", "tsp", "mtsp", "shdgp", "schedule", "routing", "obs"} {
+	for _, name := range []string{"sim", "des", "wsn", "cover", "tsp", "mtsp", "shdgp", "schedule", "routing", "obs", "par"} {
 		if strings.HasSuffix(importPath, "/internal/"+name) {
 			return true
 		}

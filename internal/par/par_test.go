@@ -1,0 +1,127 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func pools() []Pool {
+	return []Pool{{}, Seq(), Workers(2), Workers(3), Workers(8), Workers(0)}
+}
+
+func TestForEachCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, p := range pools() {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			hits := make([]int32, n)
+			p.ForEach(n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", p.Size(), n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunksPartitionIsContiguousAndComplete(t *testing.T) {
+	for _, p := range pools() {
+		for _, n := range []int{1, 2, 5, 17, 256} {
+			var covered, calls int64
+			seen := make([]int32, n)
+			p.ForChunks(n, func(lo, hi int) {
+				atomic.AddInt64(&calls, 1)
+				if lo >= hi {
+					t.Errorf("empty chunk [%d,%d)", lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+					atomic.AddInt64(&covered, 1)
+				}
+			})
+			if covered != int64(n) {
+				t.Fatalf("workers=%d n=%d: covered %d indices", p.Size(), n, covered)
+			}
+			for i := range seen {
+				if seen[i] != 1 {
+					t.Fatalf("workers=%d n=%d: index %d in %d chunks", p.Size(), n, i, seen[i])
+				}
+			}
+			if max := int64(min(p.Size(), n)); calls > max {
+				t.Fatalf("workers=%d n=%d: %d chunks, want <= %d", p.Size(), n, calls, max)
+			}
+		}
+	}
+}
+
+func TestMapOrderedForAnyPoolSize(t *testing.T) {
+	want := Map(Seq(), 500, func(i int) int { return i * i })
+	for _, p := range pools() {
+		got := Map(p, 500, func(i int) int { return i * i })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", p.Size(), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Float sums are not associative; the ordered reduction must still match
+// the sequential fold bit-for-bit on every pool size.
+func TestReduceMatchesSequentialFloatSum(t *testing.T) {
+	fn := func(i int) float64 { return 1.0 / float64(i+1) }
+	fold := func(acc, v float64) float64 { return acc + v }
+	want := Reduce(Seq(), 10_000, fn, 0.0, fold)
+	for _, p := range pools() {
+		got := Reduce(p, 10_000, fn, 0.0, fold)
+		if got != want {
+			t.Fatalf("workers=%d: sum %v != sequential %v", p.Size(), got, want)
+		}
+	}
+}
+
+func TestStreamsPrefixStable(t *testing.T) {
+	// Stream i must not depend on how many streams were requested: adding
+	// trials to an experiment never perturbs earlier trials.
+	a := Streams(42, 4)
+	b := Streams(42, 16)
+	for i := range a {
+		for draw := 0; draw < 8; draw++ {
+			if x, y := a[i].Uint64(), b[i].Uint64(); x != y {
+				t.Fatalf("stream %d draw %d: %d != %d", i, draw, x, y)
+			}
+		}
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	streams := Streams(7, 3)
+	seen := map[uint64]int{}
+	for i, s := range streams {
+		for draw := 0; draw < 4; draw++ {
+			v := s.Uint64()
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("streams %d and %d collided on %d", prev, i, v)
+			}
+			seen[v] = i
+		}
+	}
+}
+
+func TestZeroAndNegativeSizes(t *testing.T) {
+	if Seq().Size() != 1 || (Pool{}).Size() != 1 {
+		t.Fatal("sequential pools must report size 1")
+	}
+	if Workers(-3).Size() < 1 {
+		t.Fatal("Workers(-3) must clamp to at least one worker")
+	}
+	if got := len(Streams(1, -2)); got != 0 {
+		t.Fatalf("Streams with negative n returned %d streams", got)
+	}
+	ran := false
+	Workers(4).ForEach(0, func(int) { ran = true })
+	if ran {
+		t.Fatal("ForEach over an empty range invoked fn")
+	}
+}

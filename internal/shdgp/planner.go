@@ -119,31 +119,43 @@ func algorithmName(opts PlannerOptions) string {
 
 // dropRedundant removes chosen stops whose covered sensors are all covered
 // by the other chosen stops. Fewer stops can only shorten the tour. Stops
-// are considered in increasing unique-coverage order so the least useful
-// go first. Returns whether anything was dropped.
+// are considered in selection order. Returns whether anything was dropped.
+//
+// A coverage-count cache makes this a single O(k·cover) pass: stop c is
+// redundant exactly when every sensor it covers has coverage count >= 2,
+// and removals only decrement counts, so a stop that survives its check
+// can never become redundant later. That monotonicity makes the
+// left-to-right pass with live counts equivalent to the old
+// remove-first-and-restart fixed point (TestDropRedundantMatchesOracle
+// pins it), without rebuilding an O(k) bitset union per stop per round.
 func dropRedundant(inst *cover.Instance, chosen *[]int) bool {
-	dropped := false
-	for {
-		cur := *chosen
-		removeAt := -1
-		for i := range cur {
-			rest := bitset.New(inst.Universe)
-			for j, c := range cur {
-				if j != i {
-					rest.Or(inst.Covers[c])
-				}
-			}
-			if inst.Covers[cur[i]].SubsetOf(rest) {
-				removeAt = i
-				break
-			}
-		}
-		if removeAt < 0 {
-			return dropped
-		}
-		*chosen = append(cur[:removeAt], cur[removeAt+1:]...)
-		dropped = true
+	cur := *chosen
+	// counts[s] = number of currently kept stops covering sensor s.
+	counts := make([]int, inst.Universe)
+	for _, c := range cur {
+		inst.Covers[c].ForEach(func(s int) { counts[s]++ })
 	}
+	redundant := func(c int) bool {
+		set := inst.Covers[c]
+		for s := set.NextSet(0); s >= 0; s = set.NextSet(s + 1) {
+			if counts[s] < 2 {
+				return false
+			}
+		}
+		return true
+	}
+	out := cur[:0]
+	dropped := false
+	for _, c := range cur {
+		if redundant(c) {
+			inst.Covers[c].ForEach(func(s int) { counts[s]-- })
+			dropped = true
+			continue
+		}
+		out = append(out, c)
+	}
+	*chosen = out
+	return dropped
 }
 
 // relocateStops tries to replace each chosen stop with an alternative
@@ -173,24 +185,42 @@ func relocateStops(p *Problem, inst *cover.Instance, chosen []int) bool {
 		next[idx-1] = pts[tour[(ti+1)%len(tour)]]
 	}
 
+	// counts[s] = number of chosen stops covering sensor s, maintained
+	// across relocations so each stop's critical set (sensors only it
+	// covers, i.e. count exactly 1) reflects every earlier move — the
+	// same set the old per-stop O(k) bitset union produced.
+	counts := make([]int, inst.Universe)
+	for _, c := range chosen {
+		inst.Covers[c].ForEach(func(s int) { counts[s]++ })
+	}
+	// coverers[s] lists the candidates covering sensor s in ascending
+	// index order. Any replacement for stop i must cover all of i's
+	// critical sensors, so it suffices to scan the coverers of one of
+	// them — a handful of candidates instead of all of them — in the
+	// same ascending order the full scan used, preserving tie-breaks.
+	coverers := make([][]int, inst.Universe)
+	for c := range inst.Covers {
+		ci := c
+		inst.Covers[ci].ForEach(func(s int) { coverers[s] = append(coverers[s], ci) })
+	}
 	moved := false
+	critical := bitset.New(inst.Universe)
 	for i := range chosen {
-		// Critical sensors: covered by stop i and by no other stop.
-		critical := inst.Covers[chosen[i]].Clone()
-		for j, c := range chosen {
-			if j != i {
-				critical.AndNot(inst.Covers[c])
+		critical.Clear()
+		inst.Covers[chosen[i]].ForEach(func(s int) {
+			if counts[s] == 1 {
+				critical.Add(s)
 			}
-		}
+		})
 		cur := inst.Candidates[chosen[i]]
 		bestCost := prev[i].Dist(cur) + cur.Dist(next[i])
 		bestCand := chosen[i]
-		for c := range inst.Covers {
+		consider := func(c int) {
 			if c == chosen[i] {
-				continue
+				return
 			}
 			if !critical.SubsetOf(inst.Covers[c]) {
-				continue
+				return
 			}
 			alt := inst.Candidates[c]
 			if cost := prev[i].Dist(alt) + alt.Dist(next[i]); cost < bestCost-1e-9 {
@@ -198,7 +228,20 @@ func relocateStops(p *Problem, inst *cover.Instance, chosen []int) bool {
 				bestCand = c
 			}
 		}
+		if s0 := critical.NextSet(0); s0 >= 0 {
+			for _, c := range coverers[s0] {
+				consider(c)
+			}
+		} else {
+			// No critical sensors (the stop is redundant): every
+			// candidate qualifies, as in the full scan.
+			for c := range inst.Covers {
+				consider(c)
+			}
+		}
 		if bestCand != chosen[i] {
+			inst.Covers[chosen[i]].ForEach(func(s int) { counts[s]-- })
+			inst.Covers[bestCand].ForEach(func(s int) { counts[s]++ })
 			chosen[i] = bestCand
 			moved = true
 		}
@@ -215,7 +258,7 @@ func PlanVisitAll(p *Problem, opts tsp.Options) (*Solution, error) {
 	if len(sensors) == 0 {
 		return nil, fmt.Errorf("shdgp: empty network")
 	}
-	inst := cover.NewInstance(sensors, sensors, p.Net.Range)
+	inst := cover.NewInstancePool(sensors, sensors, p.Net.Range, p.Pool)
 	chosen := make([]int, len(inst.Candidates))
 	for i := range chosen {
 		chosen[i] = i

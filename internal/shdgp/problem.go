@@ -23,6 +23,7 @@ import (
 	"mobicol/internal/collector"
 	"mobicol/internal/cover"
 	"mobicol/internal/geom"
+	"mobicol/internal/par"
 	"mobicol/internal/tsp"
 	"mobicol/internal/wsn"
 )
@@ -35,6 +36,9 @@ type Problem struct {
 	// GridSpacing applies to the FieldGrid strategy (default 20 m, the
 	// paper's evaluation setting).
 	GridSpacing float64
+	// Pool bounds the parallelism the planners may use. The zero value
+	// runs sequentially; any pool size produces byte-identical plans.
+	Pool par.Pool
 }
 
 // NewProblem wraps a network with default candidate generation.
@@ -49,7 +53,7 @@ func (p *Problem) Instance() (*cover.Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	inst := cover.NewInstance(sensors, cands, p.Net.Range)
+	inst := cover.NewInstancePool(sensors, cands, p.Net.Range, p.Pool)
 	if err := inst.Err(); err != nil {
 		return nil, err
 	}

@@ -1,39 +1,119 @@
 package tsp
 
 import (
+	"math"
 	"sort"
 
 	"mobicol/internal/geom"
 )
 
+// neighborK is the candidate-list width shared by the local searches.
+// 10–16 captures almost all improving 2-opt/Or-opt moves on Euclidean
+// instances; 12 matches the classic Lin–Kernighan setting.
+const neighborK = 12
+
 // neighborLists returns, for every point, the indices of its k nearest
-// other points. 2-opt restricted to near neighbours finds almost all the
-// improving moves of the full quadratic scan at a fraction of the cost.
+// other points, sorted by ascending distance (ties toward the lower
+// index, so the lists are independent of construction path). Local search
+// restricted to near neighbours finds almost all the improving moves of
+// the full quadratic scan at a fraction of the cost.
+//
+// The lists are built from a geom.GridIndex disk query with radius
+// doubling — expected O(k) work per point on uniform fields — and fall
+// back to a full sort only for degenerate geometry (all points
+// coincident) where a grid cannot be built.
 func neighborLists(pts []geom.Point, k int) [][]int {
 	n := len(pts)
 	if k >= n {
 		k = n - 1
 	}
 	lists := make([][]int, n)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	if k <= 0 {
+		return lists
 	}
-	for i := 0; i < n; i++ {
-		// Exclude i explicitly: with coincident points a distance-0 tie
-		// could otherwise leave i inside its own list.
-		cand := make([]int, 0, n-1)
-		for _, j := range idx {
+	minX, minY := pts[0].X, pts[0].Y
+	maxX, maxY := minX, minY
+	for _, p := range pts[1:] {
+		minX = min(minX, p.X)
+		minY = min(minY, p.Y)
+		maxX = max(maxX, p.X)
+		maxY = max(maxY, p.Y)
+	}
+	w, h := maxX-minX, maxY-minY
+	span := max(w, h)
+	if !(span > 0) {
+		// Coincident points: no usable grid cell. Quadratic fallback.
+		for i := range lists {
+			lists[i] = sortedNeighbors(pts, i, k)
+		}
+		return lists
+	}
+	// ~1 point per cell in expectation keeps disk queries O(k).
+	cell := span / math.Ceil(math.Sqrt(float64(n)))
+	idx := geom.NewGridIndex(pts, cell)
+	diag := math.Hypot(w, h)
+	buf := make([]int, 0, 4*k)
+	for i := range pts {
+		r := cell
+		others := 0
+		for {
+			buf = idx.Within(pts[i], r, buf[:0])
+			others = len(buf)
+			for _, j := range buf {
+				if j == i {
+					others--
+				}
+			}
+			if others >= k || r > diag {
+				break
+			}
+			r *= 2
+		}
+		if others < k {
+			// Unreachable once r exceeds the bounding-box diagonal (every
+			// point is within diag of every other), but keep the exact path
+			// as a safety net.
+			lists[i] = sortedNeighbors(pts, i, k)
+			continue
+		}
+		cand := make([]int, 0, others)
+		for _, j := range buf {
 			if j != i {
 				cand = append(cand, j)
 			}
 		}
-		sort.Slice(cand, func(a, b int) bool {
-			return pts[cand[a]].Dist2(pts[i]) < pts[cand[b]].Dist2(pts[i])
-		})
-		lists[i] = cand[:k]
+		sortByDist(pts, i, cand)
+		lists[i] = cand[:k:k]
 	}
 	return lists
+}
+
+// sortedNeighbors is the exact quadratic construction of one point's
+// k-nearest list; neighborLists uses it only for degenerate geometry.
+func sortedNeighbors(pts []geom.Point, i, k int) []int {
+	cand := make([]int, 0, len(pts)-1)
+	for j := range pts {
+		if j != i {
+			cand = append(cand, j)
+		}
+	}
+	sortByDist(pts, i, cand)
+	return cand[:k:k]
+}
+
+// sortByDist orders cand by ascending squared distance to pts[i], ties
+// toward the lower index so the order is total and path-independent.
+func sortByDist(pts []geom.Point, i int, cand []int) {
+	sort.Slice(cand, func(a, b int) bool {
+		da, db := pts[cand[a]].Dist2(pts[i]), pts[cand[b]].Dist2(pts[i])
+		if da < db {
+			return true
+		}
+		if db < da {
+			return false
+		}
+		return cand[a] < cand[b]
+	})
 }
 
 // TwoOpt improves tour in place with 2-opt moves (reverse a segment when
@@ -41,12 +121,20 @@ func neighborLists(pts []geom.Point, k int) [][]int {
 // neighbours and accelerated with don't-look bits. It returns the number
 // of improving moves applied.
 func TwoOpt(pts []geom.Point, tour Tour) int {
+	if len(tour) < 4 {
+		return 0
+	}
+	return TwoOptNeighbors(pts, tour, neighborLists(pts, neighborK))
+}
+
+// TwoOptNeighbors is TwoOpt over a caller-supplied neighbour list, so a
+// solver running several improvement passes builds the lists once and
+// shares them between TwoOpt and OrOptNeighbors.
+func TwoOptNeighbors(pts []geom.Point, tour Tour, neigh [][]int) int {
 	n := len(tour)
 	if n < 4 {
 		return 0
 	}
-	k := 12
-	neigh := neighborLists(pts, k)
 	pos := make([]int, n) // point -> position in tour
 	for i, v := range tour {
 		pos[v] = i
@@ -151,6 +239,11 @@ func TwoOpt(pts []geom.Point, tour Tour) int {
 // stops to a better position (possibly reversed). It returns the number of
 // improving moves applied. Run it after TwoOpt: the two neighbourhoods are
 // complementary.
+//
+// The scan is first-improvement but keeps going within a pass: after an
+// improving relocation it moves on to the next segment start rather than
+// restarting the whole O(n²) sweep, so a pass is O(n²) regardless of how
+// many moves it finds.
 func OrOpt(pts []geom.Point, tour Tour) int {
 	n := len(tour)
 	if n < 5 {
@@ -158,15 +251,13 @@ func OrOpt(pts []geom.Point, tour Tour) int {
 	}
 	d := func(a, b int) float64 { return pts[a].Dist(pts[b]) }
 	moves := 0
+	maxSeg := min(3, n-3)
 	improved := true
 	for improved {
 		improved = false
-		for segLen := 1; segLen <= 3; segLen++ {
+		for segLen := 1; segLen <= maxSeg; segLen++ {
 			for i := 0; i < n; i++ {
 				// Segment occupies positions i..i+segLen-1 (mod n).
-				if segLen >= n-2 {
-					continue
-				}
 				p0 := tour[(i-1+n)%n]      // before segment
 				s0 := tour[i]              // segment head
 				s1 := tour[(i+segLen-1)%n] // segment tail
@@ -193,16 +284,100 @@ func OrOpt(pts []geom.Point, tour Tour) int {
 						relocate(tour, i, segLen, j, rev)
 						moves++
 						improved = true
+						// This segment has moved; continue the pass at the
+						// next start position instead of restarting.
 						break
 					}
 				}
-				if improved {
-					break
+			}
+		}
+	}
+	return moves
+}
+
+// OrOptNeighbors is Or-opt restricted to candidate insertion points near
+// the segment endpoints, with don't-look bits: each point anchors segment
+// relocations, and points are re-examined only when a move touches them.
+// A good insertion splices the segment between stops a and b where a is
+// near the new head or b is near the new tail, so trying the tour edges on
+// both sides of each near neighbour of s0 and s1 covers (for either
+// orientation) the insertions the full scan would find. It returns the
+// number of improving moves applied.
+func OrOptNeighbors(pts []geom.Point, tour Tour, neigh [][]int) int {
+	n := len(tour)
+	if n < 5 {
+		return 0
+	}
+	d := func(a, b int) float64 { return pts[a].Dist(pts[b]) }
+	pos := make([]int, n)
+	rebuild := func() {
+		for i, v := range tour {
+			pos[v] = i
+		}
+	}
+	rebuild()
+	dontLook := make([]bool, n)
+	queue := make([]int, n)
+	copy(queue, tour)
+	moves := 0
+	maxSeg := min(3, n-3)
+
+	improveAt := func(s0 int) bool {
+		i := pos[s0]
+		for segLen := 1; segLen <= maxSeg; segLen++ {
+			p0 := tour[(i-1+n)%n]
+			s1 := tour[(i+segLen-1)%n]
+			p1 := tour[(i+segLen)%n]
+			removed := d(p0, s0) + d(s1, p1) - d(p0, p1)
+			if removed <= 1e-12 {
+				continue
+			}
+			for _, list := range [2][]int{neigh[s0], neigh[s1]} {
+				for _, c := range list {
+					// Anchor on the tour edge after c and the one before
+					// it, so c can serve as either endpoint of the broken
+					// edge.
+					for _, j := range [2]int{pos[c], (pos[c] - 1 + n) % n} {
+						if within(i, segLen, j, n) || (j+1)%n == i {
+							continue
+						}
+						a, b := tour[j], tour[(j+1)%n]
+						forward := d(a, s0) + d(s1, b) - d(a, b)
+						backward := d(a, s1) + d(s0, b) - d(a, b)
+						rev := backward < forward
+						added := forward
+						if rev {
+							added = backward
+						}
+						if added < removed-1e-12 {
+							relocate(tour, i, segLen, j, rev)
+							rebuild()
+							for _, v := range [6]int{p0, p1, s0, s1, a, b} {
+								if dontLook[v] {
+									dontLook[v] = false
+									queue = append(queue, v)
+								}
+							}
+							moves++
+							return true
+						}
+					}
 				}
 			}
-			if improved {
-				break
-			}
+		}
+		return false
+	}
+
+	for len(queue) > 0 {
+		s0 := queue[0]
+		queue = queue[1:]
+		if dontLook[s0] {
+			continue
+		}
+		if improveAt(s0) {
+			queue = append(queue, s0)
+		} else {
+			dontLook[s0] = true
 		}
 	}
 	return moves
@@ -219,17 +394,15 @@ func within(i, segLen, j, n int) bool {
 	return false
 }
 
-// relocate moves the segment of segLen stops starting at position i to
-// just after position j, optionally reversing it. It rebuilds the tour by
-// value: remove the segment, then splice it back in after the stop that
-// was at position j.
+// relocate moves the segment of segLen stops (at most 3) starting at
+// position i to just after position j, optionally reversing it. It
+// rebuilds the tour by value: remove the segment, then splice it back in
+// after the stop that was at position j.
 func relocate(tour Tour, i, segLen, j int, rev bool) {
 	n := len(tour)
-	seg := make([]int, segLen)
-	inSeg := make(map[int]bool, segLen)
+	var seg [3]int
 	for k := 0; k < segLen; k++ {
 		seg[k] = tour[(i+k)%n]
-		inSeg[seg[k]] = true
 	}
 	if rev {
 		for a, b := 0, segLen-1; a < b; a, b = a+1, b-1 {
@@ -239,12 +412,12 @@ func relocate(tour Tour, i, segLen, j int, rev bool) {
 	anchor := tour[j]
 	out := make(Tour, 0, n)
 	for _, v := range tour {
-		if inSeg[v] {
+		if v == seg[0] || (segLen > 1 && v == seg[1]) || (segLen > 2 && v == seg[2]) {
 			continue
 		}
 		out = append(out, v)
 		if v == anchor {
-			out = append(out, seg...)
+			out = append(out, seg[:segLen]...)
 		}
 	}
 	copy(tour, out)

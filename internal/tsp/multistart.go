@@ -2,6 +2,7 @@ package tsp
 
 import (
 	"mobicol/internal/geom"
+	"mobicol/internal/par"
 	"mobicol/internal/rng"
 )
 
@@ -11,23 +12,39 @@ import (
 // buy tour quality linearly in time; the planners use a single start by
 // default and the harness exposes this as a quality knob.
 func SolveBest(pts []geom.Point, opts Options, restarts int, seed uint64) Tour {
+	return SolveBestPool(pts, opts, restarts, seed, par.Seq())
+}
+
+// SolveBestPool is SolveBest with the restarts spread across a worker
+// pool. Each restart draws from its own rng substream (split from seed
+// before any worker starts) and polishes against a shared read-only
+// neighbour list, and the winner is picked by an ordered reduction with
+// strict improvement — so the returned tour is byte-identical for every
+// pool size.
+func SolveBestPool(pts []geom.Point, opts Options, restarts int, seed uint64, pool par.Pool) Tour {
 	best := Solve(pts, opts)
 	if restarts <= 1 || len(pts) < 5 {
 		return best
 	}
 	bestLen := best.Length(pts)
-	src := rng.New(seed)
-	for r := 1; r < restarts; r++ {
-		t := NearestNeighbor(pts, src.Intn(len(pts)))
+	streams := par.Streams(seed, restarts-1)
+	neigh := neighborLists(pts, neighborK)
+	tours := par.Map(pool, restarts-1, func(r int) Tour {
+		t := NearestNeighbor(pts, streams[r].Intn(len(pts)))
 		if opts.TwoOpt {
-			TwoOpt(pts, t)
+			TwoOptNeighbors(pts, t, neigh)
 		}
 		if opts.OrOpt {
-			OrOpt(pts, t)
+			OrOptNeighbors(pts, t, neigh)
 			if opts.TwoOpt {
-				TwoOpt(pts, t)
+				TwoOptNeighbors(pts, t, neigh)
 			}
 		}
+		return t
+	})
+	// Strict improvement in restart order: the lowest restart index wins
+	// ties, exactly as the sequential loop folded.
+	for _, t := range tours {
 		if l := t.Length(pts); l < bestLen {
 			best, bestLen = t, l
 		}
@@ -67,14 +84,15 @@ func SolveILS(pts []geom.Point, opts Options, kicks int, seed uint64) Tour {
 	}
 	bestLen := best.Length(pts)
 	src := rng.New(seed)
+	neigh := neighborLists(pts, neighborK)
 	cur := best.Clone()
 	for k := 0; k < kicks; k++ {
 		Perturb(cur, src)
 		if opts.TwoOpt {
-			TwoOpt(pts, cur)
+			TwoOptNeighbors(pts, cur, neigh)
 		}
 		if opts.OrOpt {
-			OrOpt(pts, cur)
+			OrOptNeighbors(pts, cur, neigh)
 		}
 		if l := cur.Length(pts); l < bestLen {
 			best, bestLen = cur.Clone(), l

@@ -105,15 +105,23 @@ func Solve(pts []geom.Point, opts Options) Tour {
 		sp.SetFloat("len", t.Length(pts))
 	}
 	sp.End()
+	// Both local searches work off the same k-nearest candidate lists;
+	// build them once and share across every pass.
+	var neigh [][]int
+	if opts.TwoOpt || opts.OrOpt {
+		neigh = neighborLists(pts, neighborK)
+	}
+	twoOpt := func(p []geom.Point, t Tour) int { return TwoOptNeighbors(p, t, neigh) }
+	orOpt := func(p []geom.Point, t Tour) int { return OrOptNeighbors(p, t, neigh) }
 	if opts.TwoOpt {
-		improvePass(pts, t, opts.Obs, "twoopt", "tsp.twoopt_moves", TwoOpt)
+		improvePass(pts, t, opts.Obs, "twoopt", "tsp.twoopt_moves", twoOpt)
 	}
 	if opts.OrOpt {
-		improvePass(pts, t, opts.Obs, "oropt", "tsp.oropt_moves", OrOpt)
+		improvePass(pts, t, opts.Obs, "oropt", "tsp.oropt_moves", orOpt)
 		if opts.TwoOpt {
 			// Or-opt moves can open new 2-opt improvements; one more
 			// pass is cheap and usually closes them.
-			improvePass(pts, t, opts.Obs, "twoopt", "tsp.twoopt_moves", TwoOpt)
+			improvePass(pts, t, opts.Obs, "twoopt", "tsp.twoopt_moves", twoOpt)
 		}
 	}
 	return t
