@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build test race lint vet fmt bench check
+.PHONY: all build test race lint vet fmt bench check cover cover-update fuzz-smoke
 
 all: check
 
@@ -28,5 +29,19 @@ fmt:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
+# cover enforces the committed per-package coverage floors; cover-update
+# regenerates them (measured minus a 1-point jitter margin).
+cover:
+	$(GO) test -cover ./... | $(GO) run ./cmd/mdgcov -ratchet COVERAGE_ratchet.txt
+
+cover-update:
+	$(GO) test -cover ./... | $(GO) run ./cmd/mdgcov -ratchet COVERAGE_ratchet.txt -update
+
+# fuzz-smoke runs each native fuzz target for FUZZTIME on top of the
+# committed corpora under testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzTourPlanRoundTrip -fuzztime=$(FUZZTIME) ./internal/collector/
+	$(GO) test -fuzz=FuzzNetworkRead -fuzztime=$(FUZZTIME) ./internal/wsn/
+
 # check mirrors the CI pipeline end to end.
-check: build vet lint test race
+check: build vet lint test race cover

@@ -1,0 +1,139 @@
+package mobicol
+
+// End-to-end tests for the verification surface of the CLIs: the -check
+// flag on the planning/simulation tools, the mdgreport experiment
+// selector, wsngen's placement families, and the mdgcov coverage
+// ratchet. Companion to cli_test.go, sharing its buildCLIs/runCLI
+// helpers.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLIErr runs a CLI expecting a non-zero exit and returns its output
+// and exit code. The inverse of runCLI, for the tools' refusal paths.
+func runCLIErr(t *testing.T, stdin []byte, name string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	dir := buildCLIs(t)
+	cmd := exec.Command(filepath.Join(dir, name), args...)
+	if stdin != nil {
+		cmd.Stdin = bytes.NewReader(stdin)
+	}
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &outBuf, &errBuf
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("%s %v: expected failure, exited 0\nstdout: %s", name, args, outBuf.String())
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%s %v: did not run: %v", name, args, err)
+	}
+	return outBuf.String(), errBuf.String(), ee.ExitCode()
+}
+
+func TestCLIWsngenPlacements(t *testing.T) {
+	for _, placement := range []string{"uniform", "grid-jitter", "clustered", "ring", "corridor"} {
+		net, stderr := runCLI(t, nil, "wsngen",
+			"-n", "40", "-side", "150", "-range", "30", "-seed", "3", "-placement", placement)
+		if !strings.Contains(net, `"sensors"`) || !strings.Contains(net, `"range"`) {
+			t.Fatalf("%s: output is not a network JSON:\n%s", placement, net)
+		}
+		if !strings.Contains(stderr, "avg degree") {
+			t.Fatalf("%s: missing deployment summary on stderr:\n%s", placement, stderr)
+		}
+		// Every placement's output must feed straight into the planner.
+		runCLI(t, []byte(net), "mdgplan", "-algo", "shdg", "-check")
+	}
+}
+
+func TestCLIWsngenUnknownPlacement(t *testing.T) {
+	_, stderr, code := runCLIErr(t, nil, "wsngen", "-placement", "spiral")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "unknown placement") {
+		t.Fatalf("stderr missing diagnostic:\n%s", stderr)
+	}
+}
+
+// TestCLIPlanCheck pins the -check contract on mdgplan: every algorithm
+// passes the oracle on a healthy deployment and says so in the report.
+func TestCLIPlanCheck(t *testing.T) {
+	net, _ := runCLI(t, nil, "wsngen", "-n", "60", "-side", "150", "-range", "30", "-seed", "5")
+	for _, algo := range []string{"shdg", "visit-all", "cla"} {
+		out, _ := runCLI(t, []byte(net), "mdgplan", "-algo", algo, "-check")
+		if !strings.Contains(out, "check:      ok") {
+			t.Fatalf("%s: -check run missing confirmation line:\n%s", algo, out)
+		}
+	}
+}
+
+func TestCLILifetimeCheck(t *testing.T) {
+	net, _ := runCLI(t, nil, "wsngen", "-n", "60", "-seed", "6")
+	out, _ := runCLI(t, []byte(net), "mdglife", "-battery", "0.01", "-check")
+	if !strings.Contains(out, "check: ok") {
+		t.Fatalf("mdglife -check missing confirmation line:\n%s", out)
+	}
+}
+
+func TestCLIReportSingleExperiment(t *testing.T) {
+	out, _ := runCLI(t, nil, "mdgreport", "-e", "E2", "-trials", "1", "-check")
+	for _, want := range []string{"# mobicol reproduction report", "E2 — tour length vs number of sensors"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mdgreport output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIReportUnknownExperiment(t *testing.T) {
+	_, stderr, code := runCLIErr(t, nil, "mdgreport", "-e", "E99", "-trials", "1")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "unknown experiment") {
+		t.Fatalf("stderr missing diagnostic:\n%s", stderr)
+	}
+}
+
+// TestCLICoverageRatchet drives mdgcov through its whole lifecycle with
+// canned `go test -cover` output: write floors, hold against them, then
+// fail when a package regresses.
+func TestCLICoverageRatchet(t *testing.T) {
+	const healthy = "ok  \tmobicol/internal/geom\t0.011s\tcoverage: 82.5% of statements\n" +
+		"ok  \tmobicol/internal/wsn\t0.020s\tcoverage: 74.1% of statements\n" +
+		"?   \tmobicol/cmd/wsngen\t[no test files]\n"
+	ratchet := filepath.Join(t.TempDir(), "ratchet.txt")
+
+	out, _ := runCLI(t, []byte(healthy), "mdgcov", "-ratchet", ratchet, "-update", "-margin", "1.0")
+	if !strings.Contains(out, "wrote 2 floors") {
+		t.Fatalf("mdgcov -update output:\n%s", out)
+	}
+	raw, err := os.ReadFile(ratchet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "mobicol/internal/geom 81.5") {
+		t.Fatalf("ratchet file missing margin-adjusted floor:\n%s", raw)
+	}
+
+	out, _ = runCLI(t, []byte(healthy), "mdgcov", "-ratchet", ratchet)
+	if !strings.Contains(out, "hold against") {
+		t.Fatalf("mdgcov compare output:\n%s", out)
+	}
+
+	const regressed = "ok  \tmobicol/internal/geom\t0.011s\tcoverage: 60.0% of statements\n" +
+		"ok  \tmobicol/internal/wsn\t0.020s\tcoverage: 74.1% of statements\n"
+	_, stderr, code := runCLIErr(t, []byte(regressed), "mdgcov", "-ratchet", ratchet)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "below the coverage ratchet") || !strings.Contains(stderr, "internal/geom") {
+		t.Fatalf("mdgcov regression stderr:\n%s", stderr)
+	}
+}

@@ -31,11 +31,12 @@ func main() {
 		benchN   = flag.Int("bench-n", 0, "deployment size for the -bench-out planner benchmark (0 = default 100; field side scales to hold density)")
 		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		benchOut = flag.String("bench-out", "", "write the planner benchmark (per-algo tour + per-phase durations) as JSON to this path")
+		doCheck  = flag.Bool("check", false, "verify every harness-produced plan against the invariant oracles; abort on violation")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
-	cfg := bench.Config{Trials: *trials, Seed: *seed, Workers: *workers, BenchN: *benchN}
+	cfg := bench.Config{Trials: *trials, Seed: *seed, Workers: *workers, BenchN: *benchN, Check: *doCheck}
 
 	prof, err := obs.StartProfiles(*cpuProf, *memProf)
 	if err != nil {

@@ -1,0 +1,81 @@
+// mdgcov enforces the per-package coverage ratchet: it parses
+// `go test -cover` output on stdin, compares it against the committed
+// floors, and fails when any package drops below its floor.
+//
+// Usage:
+//
+//	go test -cover ./... | mdgcov -ratchet COVERAGE_ratchet.txt
+//	go test -cover ./... | mdgcov -ratchet COVERAGE_ratchet.txt -update
+//
+// -update regenerates the ratchet file from the measured coverage (minus
+// -margin, so ordinary run-to-run jitter does not fail CI).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobicol/internal/check"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "mdgcov: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		ratchetPath = flag.String("ratchet", "COVERAGE_ratchet.txt", "committed coverage-floor file")
+		update      = flag.Bool("update", false, "regenerate the ratchet from measured coverage instead of comparing")
+		margin      = flag.Float64("margin", 1.0, "percentage points subtracted from measurements when writing floors (-update)")
+		slack       = flag.Float64("slack", 0.0, "extra percentage points of forgiveness when comparing")
+	)
+	flag.Parse()
+
+	cov, err := check.ParseCover(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(cov) == 0 {
+		return fmt.Errorf("no coverage lines on stdin (pipe `go test -cover ./...` output in)")
+	}
+
+	if *update {
+		f, err := os.Create(*ratchetPath)
+		if err != nil {
+			return err
+		}
+		if err := check.WriteRatchet(f, check.Floors(cov, *margin)); err != nil {
+			_ = f.Close() // already failing; the write error is the one to report
+			return err
+		}
+		// Close errors on the output file are real data loss: report them.
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("mdgcov: wrote %d floors to %s (margin %.1f)\n", len(cov), *ratchetPath, *margin)
+		return nil
+	}
+
+	f, err := os.Open(*ratchetPath)
+	if err != nil {
+		return err
+	}
+	//mdglint:ignore errcheck input file is read-only; a close failure cannot lose data
+	defer f.Close()
+	floors, err := check.ReadRatchet(f)
+	if err != nil {
+		return err
+	}
+	if bad := check.CompareRatchet(cov, floors, *slack); len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Fprintf(os.Stderr, "mdgcov: %s\n", b)
+		}
+		return fmt.Errorf("%d package(s) below the coverage ratchet", len(bad))
+	}
+	fmt.Printf("mdgcov: %d measured packages hold against %d floors\n", len(cov), len(floors))
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"text/tabwriter"
 
 	"mobicol/internal/baselines"
+	"mobicol/internal/check"
 	"mobicol/internal/collector"
 	"mobicol/internal/energy"
 	"mobicol/internal/obs"
@@ -44,6 +45,7 @@ func run() error {
 		trace   = flag.String("trace", "", "write a JSONL span/metric trace to this path")
 		metrics = flag.Bool("metrics", false, "print a span/metric summary table to stderr")
 		workers = flag.Int("workers", 0, "planner worker pool size (0 = one per CPU, 1 = sequential; the plan is identical either way)")
+		doCheck = flag.Bool("check", false, "verify plans and energy ledgers against the invariant oracles; fail loudly on violation")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf = flag.String("memprofile", "", "write a heap profile to this path")
 	)
@@ -104,6 +106,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *doCheck {
+		if err := check.Plan(nw, sol.Plan, check.Options{}); err != nil {
+			return fmt.Errorf("shdg: %w", err)
+		}
+		if err := check.RecordedLength(sol.Plan, sol.Length); err != nil {
+			return fmt.Errorf("shdg: %w", err)
+		}
+		claOpts := check.Options{UploadDist: func(i int) float64 {
+			return baselines.CLAUploadDistance(nw, claPlan, i)
+		}}
+		if err := check.Plan(nw, claPlan, claOpts); err != nil {
+			return fmt.Errorf("cla: %w", err)
+		}
+	}
 	schemes := []sim.Scheme{
 		sim.NewMobile("shdg", nw, sol.Plan),
 		sim.NewCLA(nw, claPlan),
@@ -123,6 +139,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		if *doCheck {
+			if err := check.Ledger(res.Ledger, res.Rounds); err != nil {
+				return fmt.Errorf("%s: %w", s.Name(), err)
+			}
+		}
 		lat := sim.MeasureLatency(s, spec, *relay)
 		life := fmt.Sprintf("%d", res.Rounds)
 		if !res.Died {
@@ -133,6 +154,9 @@ func run() error {
 	}
 	if err := tw.Flush(); err != nil {
 		return err
+	}
+	if *doCheck {
+		fmt.Printf("\ncheck: ok (plan invariants + energy conservation, all schemes)\n")
 	}
 
 	// One packet-granularity DES round over the planned tour: buffer

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"mobicol/internal/baselines"
+	"mobicol/internal/check"
 	"mobicol/internal/collector"
 	"mobicol/internal/cover"
 	"mobicol/internal/mtsp"
@@ -52,6 +53,7 @@ func run() error {
 		tracePath  = flag.String("trace", "", "write a JSONL span/metric trace to this path")
 		metrics    = flag.Bool("metrics", false, "print a span/metric summary table to stderr")
 		workers    = flag.Int("workers", 0, "planner worker pool size (0 = one per CPU, 1 = sequential; the plan is identical either way)")
+		doCheck    = flag.Bool("check", false, "verify the plan against the single-hop invariants and fail loudly on violation")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this path")
 	)
@@ -151,6 +153,26 @@ func run() error {
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
 
+	if *doCheck {
+		opts := check.Options{}
+		if *algo == "cla" {
+			// CLA stops are sweep-line endpoints; the collector uploads at
+			// the sensor's projection, so verify the true upload distance.
+			claPlan := plan
+			opts.UploadDist = func(i int) float64 {
+				return baselines.CLAUploadDistance(nw, claPlan, i)
+			}
+		}
+		if err := check.Plan(nw, plan, opts); err != nil {
+			return err
+		}
+		if sol != nil {
+			if err := check.RecordedLength(plan, sol.Length); err != nil {
+				return err
+			}
+		}
+	}
+
 	spec := collector.Spec{Speed: *speed, UploadTime: 0.1}
 	fmt.Printf("network:    %v\n", nw)
 	fmt.Printf("algorithm:  %s\n", label)
@@ -164,6 +186,9 @@ func run() error {
 	fmt.Printf("tour:       %.1f m\n", plan.Length())
 	fmt.Printf("served:     %d/%d sensors\n", plan.Served(), nw.N())
 	fmt.Printf("round time: %.1f s at %.1f m/s\n", plan.RoundTime(spec), *speed)
+	if *doCheck {
+		fmt.Printf("check:      ok (single-hop coverage, sink anchor, finite geometry)\n")
+	}
 
 	if *k > 1 || *bound > 0 {
 		var mp *mtsp.MultiPlan

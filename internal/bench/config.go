@@ -1,6 +1,11 @@
 package bench
 
 import (
+	"fmt"
+
+	"mobicol/internal/baselines"
+	"mobicol/internal/check"
+	"mobicol/internal/collector"
 	"mobicol/internal/par"
 	"mobicol/internal/shdgp"
 	"mobicol/internal/tsp"
@@ -27,6 +32,11 @@ type Config struct {
 	// (default 100, the paper's evaluation setting); the field side
 	// scales to keep density constant.
 	BenchN int
+	// Check verifies every plan the harness produces against the
+	// internal/check invariant oracles and aborts the experiment on the
+	// first violation. The equivalence tests run with it on; cmd/mdgbench
+	// exposes it as -check.
+	Check bool
 }
 
 // DefaultConfig runs 30 trials per point.
@@ -64,3 +74,23 @@ func planSHDG(nw *wsn.Network) (*shdgp.Solution, error) {
 
 // tspOpts is the tour configuration shared by the harness.
 func tspOpts() tsp.Options { return tsp.DefaultOptions() }
+
+// checkPlan verifies one harness-produced plan against the invariant
+// oracles when cfg.Check is set. algo selects the oracle options: CLA
+// plans record sweep-line endpoints as stops, so their single-hop check
+// uses the perpendicular upload distance.
+func (c Config) checkPlan(algo string, nw *wsn.Network, plan *collector.TourPlan) error {
+	if !c.Check {
+		return nil
+	}
+	opts := check.Options{}
+	if algo == "cla" {
+		opts.UploadDist = func(i int) float64 {
+			return baselines.CLAUploadDistance(nw, plan, i)
+		}
+	}
+	if err := check.Plan(nw, plan, opts); err != nil {
+		return fmt.Errorf("bench: %s: %w", algo, err)
+	}
+	return nil
+}

@@ -9,11 +9,11 @@ import (
 // the harness layer: the quality fields of BENCH_planner.json must be
 // bit-identical whether trials run sequentially or fanned out.
 func TestPlannerBenchmarksWorkerEquivalence(t *testing.T) {
-	seqRes, err := PlannerBenchmarks(Config{Trials: 4, Seed: 3, Workers: 1})
+	seqRes, err := PlannerBenchmarks(Config{Trials: 4, Seed: 3, Workers: 1, Check: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parRes, err := PlannerBenchmarks(Config{Trials: 4, Seed: 3, Workers: 8})
+	parRes, err := PlannerBenchmarks(Config{Trials: 4, Seed: 3, Workers: 8, Check: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestPlannerBenchmarksWorkerEquivalence(t *testing.T) {
 func TestTourRowWorkerEquivalence(t *testing.T) {
 	type row struct{ shdg, visitAll, cla, stops float64 }
 	get := func(workers int) row {
-		s, v, c, st, err := tourRow(Config{Trials: 3, Seed: 5, Workers: workers}, 100, 200, 30, 7)
+		s, v, c, st, err := tourRow(Config{Trials: 3, Seed: 5, Workers: workers, Check: true}, 100, 200, 30, 7)
 		if err != nil {
 			t.Fatal(err)
 		}

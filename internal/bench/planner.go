@@ -66,8 +66,12 @@ func PlannerBenchmarks(cfg Config) (*PlannerBenchResult, error) {
 		{"shdg", func(tr *obs.Trace, seed uint64) (float64, int, error) {
 			opts := shdgp.DefaultPlannerOptions()
 			opts.Obs = tr
-			sol, err := shdgp.Plan(shdgp.NewProblem(deploy(n, side, rng, seed)), opts)
+			nw := deploy(n, side, rng, seed)
+			sol, err := shdgp.Plan(shdgp.NewProblem(nw), opts)
 			if err != nil {
+				return 0, 0, err
+			}
+			if err := cfg.checkPlan("shdg", nw, sol.Plan); err != nil {
 				return 0, 0, err
 			}
 			return sol.Length, sol.Stops(), nil
@@ -77,9 +81,13 @@ func PlannerBenchmarks(cfg Config) (*PlannerBenchResult, error) {
 			defer root.End()
 			opts := tsp.DefaultOptions()
 			opts.Obs = root.Child("tsp")
-			sol, err := shdgp.PlanVisitAll(shdgp.NewProblem(deploy(n, side, rng, seed)), opts)
+			nw := deploy(n, side, rng, seed)
+			sol, err := shdgp.PlanVisitAll(shdgp.NewProblem(nw), opts)
 			opts.Obs.End()
 			if err != nil {
+				return 0, 0, err
+			}
+			if err := cfg.checkPlan("visit-all", nw, sol.Plan); err != nil {
 				return 0, 0, err
 			}
 			return sol.Length, sol.Stops(), nil
@@ -87,8 +95,12 @@ func PlannerBenchmarks(cfg Config) (*PlannerBenchResult, error) {
 		{"cla", func(tr *obs.Trace, seed uint64) (float64, int, error) {
 			root := tr.Start("plan")
 			defer root.End()
-			plan, err := baselines.PlanCLA(deploy(n, side, rng, seed))
+			nw := deploy(n, side, rng, seed)
+			plan, err := baselines.PlanCLA(nw)
 			if err != nil {
+				return 0, 0, err
+			}
+			if err := cfg.checkPlan("cla", nw, plan); err != nil {
 				return 0, 0, err
 			}
 			return plan.Length(), len(plan.Stops), nil

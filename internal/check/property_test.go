@@ -1,0 +1,100 @@
+// Metamorphic property suite: transformations of a deployment with known
+// effects on the optimal tour must move the planner's output the same way.
+package check_test
+
+import (
+	"math"
+	"testing"
+
+	"mobicol/internal/check"
+	"mobicol/internal/collector"
+	"mobicol/internal/geom"
+	"mobicol/internal/shdgp"
+)
+
+const propertyScenarios = 16
+
+func planLen(t *testing.T, sc check.Scenario) *shdgp.Solution {
+	t.Helper()
+	sol, err := shdgp.Plan(shdgp.NewProblem(sc.Net), shdgp.DefaultPlannerOptions())
+	if err != nil {
+		t.Fatalf("plan %s: %v", sc.Name, err)
+	}
+	return sol
+}
+
+// TestScaleScalesTourLength: scaling positions, sink, field, and range by k
+// turns a deployment into the geometrically similar problem, so the planned
+// tour must scale by k. Powers of two keep every coordinate exactly
+// representable, so the planner faces bit-identical comparisons and the
+// lengths match to rounding noise.
+func TestScaleScalesTourLength(t *testing.T) {
+	for _, k := range []float64{2, 0.5} {
+		for _, sc := range check.Scenarios(0x5CA1E, propertyScenarios) {
+			sc := sc
+			base := planLen(t, sc)
+			scaled := check.Scenario{Name: sc.Name, Layout: sc.Layout, Net: check.Scale(sc.Net, k)}
+			got := planLen(t, scaled)
+			want := base.Length * k
+			if math.Abs(got.Length-want) > 1e-9*(1+want) {
+				t.Fatalf("%s ×%g: scaled tour %.9f, want %.9f (base %.9f)",
+					sc.Name, k, got.Length, want, base.Length)
+			}
+			if err := check.Plan(scaled.Net, got.Plan, check.Options{}); err != nil {
+				t.Fatalf("%s ×%g: %v", sc.Name, k, err)
+			}
+		}
+	}
+}
+
+// TestTranslateKeepsTourLength: translating the whole deployment changes no
+// pairwise distance, so the tour length must be invariant. Translation is
+// not exact in floating point (absolute coordinates shift), so the planner
+// may legitimately make different tie-breaks; a relative tolerance that
+// admits rounding but not structural drift pins the property.
+func TestTranslateKeepsTourLength(t *testing.T) {
+	d := geom.Pt(512, 1024) // power-of-two shift keeps most coordinates exact
+	for _, sc := range check.Scenarios(0x7A155, propertyScenarios) {
+		sc := sc
+		base := planLen(t, sc)
+		moved := check.Translate(sc.Net, d)
+		got, err := shdgp.Plan(shdgp.NewProblem(moved), shdgp.DefaultPlannerOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if math.Abs(got.Length-base.Length) > 1e-6*(1+base.Length) {
+			t.Fatalf("%s: translated tour %.9f, base %.9f", sc.Name, got.Length, base.Length)
+		}
+		if err := check.Plan(moved, got.Plan, check.Options{}); err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+	}
+}
+
+// TestAddSensorNeverInvalidatesCoverage: duplicating an existing sensor
+// adds no geometric difficulty — the base plan extended with the same
+// assignment must still pass the oracle against the grown network, and
+// replanning the grown network must also pass.
+func TestAddSensorNeverInvalidatesCoverage(t *testing.T) {
+	for _, sc := range check.Scenarios(0xADD5E, propertyScenarios) {
+		sc := sc
+		base := planLen(t, sc)
+		dup := sc.Net.Nodes[0].Pos
+		grown := check.WithSensor(sc.Net, dup)
+		extended := &collector.TourPlan{
+			Sink:     base.Plan.Sink,
+			Stops:    base.Plan.Stops,
+			UploadAt: append(append([]int(nil), base.Plan.UploadAt...), base.Plan.UploadAt[0]),
+		}
+		if err := check.Plan(grown, extended, check.Options{}); err != nil {
+			t.Fatalf("%s: extending a valid plan to a duplicate sensor broke it: %v", sc.Name, err)
+		}
+		replanned, err := shdgp.Plan(shdgp.NewProblem(grown), shdgp.DefaultPlannerOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if err := check.Plan(grown, replanned.Plan, check.Options{}); err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+	}
+}

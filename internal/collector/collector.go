@@ -69,6 +69,11 @@ func (tp *TourPlan) Served() int {
 	return c
 }
 
+// Unserved returns the number of sensors the plan leaves without an
+// upload stop. Valid single-hop plans have none; baselines and degraded
+// adaptive plans must count them instead of silently skipping them.
+func (tp *TourPlan) Unserved() int { return len(tp.UploadAt) - tp.Served() }
+
 // Validate checks structural invariants: every assignment points at a real
 // stop, and (when positions are supplied) every sensor is within range of
 // its stop — the single-hop guarantee.

@@ -1,0 +1,54 @@
+package collector
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzTourPlanRoundTrip feeds arbitrary bytes to the plan decoder. Any
+// input the decoder accepts must re-encode and decode back bit-identically:
+// the on-disk plan format is consumed by external navigation tooling, so a
+// lossy round-trip would corrupt tours silently.
+func FuzzTourPlanRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"sink":[0,0],"stops":[[1,2],[3,4]],"upload_at":[0,1,-1],"length_m":12.94}`))
+	f.Add([]byte(`{"sink":[-7.25,3e2],"stops":[],"upload_at":[],"length_m":0}`))
+	f.Add([]byte(`{"sink":[0,0],"stops":[[0,0]],"upload_at":[0,0,0,0],"length_m":0}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tp, err := ReadPlanJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs are fine; panics are the bug
+		}
+		var buf bytes.Buffer
+		// JSON cannot carry NaN or Inf, so anything that decoded must
+		// re-encode cleanly.
+		if err := tp.WriteJSON(&buf); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		back, err := ReadPlanJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read own output: %v\n%s", err, buf.Bytes())
+		}
+		if math.Float64bits(back.Sink.X) != math.Float64bits(tp.Sink.X) ||
+			math.Float64bits(back.Sink.Y) != math.Float64bits(tp.Sink.Y) {
+			t.Fatalf("sink drifted: %v -> %v", tp.Sink, back.Sink)
+		}
+		if len(back.Stops) != len(tp.Stops) || len(back.UploadAt) != len(tp.UploadAt) {
+			t.Fatalf("shape drifted: %d/%d stops, %d/%d assignments",
+				len(tp.Stops), len(back.Stops), len(tp.UploadAt), len(back.UploadAt))
+		}
+		for i := range tp.Stops {
+			if math.Float64bits(back.Stops[i].X) != math.Float64bits(tp.Stops[i].X) ||
+				math.Float64bits(back.Stops[i].Y) != math.Float64bits(tp.Stops[i].Y) {
+				t.Fatalf("stop %d drifted: %v -> %v", i, tp.Stops[i], back.Stops[i])
+			}
+		}
+		for i := range tp.UploadAt {
+			if back.UploadAt[i] != tp.UploadAt[i] {
+				t.Fatalf("assignment %d drifted: %d -> %d", i, tp.UploadAt[i], back.UploadAt[i])
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"mobicol/internal/geom"
 )
@@ -53,6 +54,12 @@ func ReadPlanJSON(r io.Reader) (*TourPlan, error) {
 		if s < -1 || s >= len(tp.Stops) {
 			return nil, fmt.Errorf("collector: plan assigns sensor %d to stop %d of %d", i, s, len(tp.Stops))
 		}
+	}
+	// Coordinates near ±MaxFloat64 decode fine individually but overflow
+	// the tour-length sum, producing a plan JSON cannot re-encode (found
+	// by FuzzTourPlanRoundTrip). Reject such plans at the boundary.
+	if l := tp.Length(); math.IsNaN(l) || math.IsInf(l, 0) {
+		return nil, fmt.Errorf("collector: plan tour length is not finite")
 	}
 	return tp, nil
 }

@@ -48,10 +48,15 @@ func (m Model) TxCost(d float64) float64 {
 // RxCost returns the energy to receive one packet.
 func (m Model) RxCost() float64 { return m.PacketBits * m.Elec }
 
-// Ledger tracks per-node residual energy across rounds.
+// Ledger tracks per-node residual energy across rounds. Alongside the
+// residual it records the energy each node actually spent (charges are
+// capped at the remaining charge, so a fatal overdraw spends only what
+// the battery held): spent + residual = initial battery is the
+// conservation invariant internal/check verifies after simulations.
 type Ledger struct {
 	Model    Model
 	Residual []float64
+	spent    []float64
 	deadAt   []int // round of death, -1 while alive
 	round    int
 }
@@ -61,6 +66,7 @@ func NewLedger(n int, m Model) *Ledger {
 	l := &Ledger{
 		Model:    m,
 		Residual: make([]float64, n),
+		spent:    make([]float64, n),
 		deadAt:   make([]int, n),
 	}
 	for i := range l.Residual {
@@ -97,12 +103,21 @@ func (l *Ledger) charge(i int, e float64) {
 	if l.deadAt[i] >= 0 {
 		return // the dead spend nothing
 	}
+	if e > l.Residual[i] {
+		e = l.Residual[i] // a fatal overdraw only spends what was left
+	}
+	l.spent[i] += e
 	l.Residual[i] -= e
 	if l.Residual[i] <= 0 {
 		l.Residual[i] = 0
 		l.deadAt[i] = l.round
 	}
 }
+
+// SpentJ returns the total energy node i has spent so far. For every node
+// SpentJ(i) + Residual[i] equals Model.InitialJ up to floating-point
+// accumulation — the conservation invariant the check oracles enforce.
+func (l *Ledger) SpentJ(i int) float64 { return l.spent[i] }
 
 // EndRound marks the end of a gathering round.
 func (l *Ledger) EndRound() { l.round++ }

@@ -73,8 +73,11 @@ type rawPkg struct {
 
 // LoadModule parses and type-checks every package under the module rooted
 // at root (skipping testdata, vendor, and hidden directories). In-package
-// test files are included so test code is linted too; the repository has
-// no external (package foo_test) test packages.
+// test files are included so test code is linted too. External test
+// packages (package foo_test) are a separate compilation unit that may
+// import packages which depend on foo — merging them into foo would
+// manufacture import cycles — so their files are skipped here and vetted
+// by `go vet` / the compiler instead.
 func LoadModule(root string) ([]*Package, error) {
 	root, err := FindModuleRoot(root)
 	if err != nil {
@@ -105,6 +108,9 @@ func LoadModule(root string) ([]*Package, error) {
 		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return fmt.Errorf("lint: parse %s: %w", path, err)
+		}
+		if strings.HasSuffix(file.Name.Name, "_test") {
+			return nil
 		}
 		dir := filepath.Dir(path)
 		rel, err := filepath.Rel(root, dir)

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadModuleSkipsExternalTestPackages pins the loader contract that
+// keeps external test packages from manufacturing import cycles: a/
+// has an external (package a_test) test file importing b, and b imports
+// a. Merging the external file into a would make a directory-level cycle
+// a -> b -> a; the loader must skip it and type-check cleanly.
+func TestLoadModuleSkipsExternalTestPackages(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/m\n\ngo 1.22\n")
+	write("a/a.go", "package a\n\n// A is exercised by the external suite.\nfunc A() int { return 1 }\n")
+	write("a/a_in_test.go", "package a\n\nvar _ = A\n")
+	write("a/a_ext_test.go", "package a_test\n\nimport \"example.com/m/b\"\n\nvar _ = b.B\n")
+	write("b/b.go", "package b\n\nimport \"example.com/m/a\"\n\n// B wraps a.A.\nfunc B() int { return a.A() }\n")
+
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			name := p.Fset.Position(f.Pos()).Filename
+			if filepath.Base(name) == "a_ext_test.go" {
+				t.Errorf("external test file %s was loaded into %s", name, p.ImportPath)
+			}
+		}
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2 (a and b)", len(pkgs))
+	}
+}

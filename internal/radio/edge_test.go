@@ -1,0 +1,116 @@
+package radio
+
+import (
+	"math"
+	"testing"
+)
+
+// Boundary tables for the link model: d=0 (collector parked on the
+// sensor), d=r (the nominal range edge), and far beyond range where ARQ
+// saturates. The lossy simulations charge energy proportional to
+// ExpectedTx, so these boundaries bound the energy accounting.
+
+func TestExpectedTxBoundaries(t *testing.T) {
+	r := 30.0
+	cases := []struct {
+		name string
+		m    Model
+		d    float64
+		lo   float64
+		hi   float64
+	}{
+		// Perfect links: exactly one attempt anywhere inside range.
+		{"perfect-d0", Perfect(), 0, 1, 1},
+		{"perfect-at-range", Perfect(), r, 1, 1},
+		// Beyond range a perfect link never succeeds: with MaxRetries 0
+		// the budget is a single doomed attempt.
+		{"perfect-beyond-range", Perfect(), 2 * r, 1, 1},
+		// Default model at d=0: PRR is essentially 1, so ~1 attempt.
+		{"default-d0", Default(), 0, 1, 1.0001},
+		// At d=r the default model is inside the transitional region
+		// (D50=0.95): more than one attempt, at most the full budget.
+		{"default-at-range", Default(), r, 1, 1 + 3},
+		// Far beyond range PRR -> 0 and ExpectedTx saturates at
+		// 1 + MaxRetries.
+		{"default-saturates", Default(), 100 * r, 3.9, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.m.ExpectedTx(tc.d, r)
+			if got < tc.lo || got > tc.hi {
+				t.Fatalf("ExpectedTx(%v, %v) = %v, want in [%v, %v]", tc.d, r, got, tc.lo, tc.hi)
+			}
+		})
+	}
+}
+
+func TestExpectedTxMonotoneInDistance(t *testing.T) {
+	m := Default()
+	r := 25.0
+	prev := 0.0
+	for d := 0.0; d <= 3*r; d += r / 16 {
+		got := m.ExpectedTx(d, r)
+		if got < prev-1e-12 {
+			t.Fatalf("ExpectedTx not monotone: f(%v)=%v < f(prev)=%v", d, got, prev)
+		}
+		if got < 1 || got > float64(1+m.MaxRetries) {
+			t.Fatalf("ExpectedTx(%v) = %v outside [1, %d]", d, got, 1+m.MaxRetries)
+		}
+		prev = got
+	}
+}
+
+func TestPRRBoundaries(t *testing.T) {
+	r := 10.0
+	if got := Perfect().PRR(0, r); got != 1 {
+		t.Fatalf("perfect PRR at d=0: %v", got)
+	}
+	if got := Perfect().PRR(r, r); got != 1 {
+		t.Fatalf("perfect PRR at d=r: %v", got)
+	}
+	if got := Perfect().PRR(r+1e-9, r); got != 0 {
+		t.Fatalf("perfect PRR just beyond range: %v", got)
+	}
+	// Sigmoid model: PRR at the D50 point is exactly 1/2.
+	m := Default()
+	if got := m.PRR(m.D50*r, r); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("PRR at D50: %v", got)
+	}
+}
+
+func TestPRRPanicsOnBadInput(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		d, r float64
+	}{
+		{"negative-distance", -1, 10},
+		{"zero-range", 5, 0},
+		{"negative-range", 5, -10},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("PRR(%v, %v) did not panic", tc.d, tc.r)
+				}
+			}()
+			Default().PRR(tc.d, tc.r)
+		})
+	}
+}
+
+func TestDeliveryProbBoundaries(t *testing.T) {
+	r := 20.0
+	m := Default()
+	if got := m.DeliveryProb(0, r); got < 0.9999 || got > 1 {
+		t.Fatalf("DeliveryProb at d=0: %v", got)
+	}
+	far := m.DeliveryProb(50*r, r)
+	if far < 0 || far > 1e-6 {
+		t.Fatalf("DeliveryProb far beyond range: %v", far)
+	}
+	// Retries help: delivery with budget beats the single attempt.
+	single := Model{D50: m.D50, Width: m.Width, MaxRetries: 0}
+	if m.DeliveryProb(r, r) <= single.DeliveryProb(r, r) {
+		t.Fatalf("retry budget did not improve delivery at range edge")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"mobicol/internal/bitset"
+	"mobicol/internal/check"
 	"mobicol/internal/cover"
 	"mobicol/internal/geom"
 	"mobicol/internal/obs"
@@ -173,6 +174,14 @@ func TestPlanPoolEquivalence(t *testing.T) {
 		opts.Obs = tr
 		sol, err := Plan(p, opts)
 		if err != nil {
+			t.Fatal(err)
+		}
+		// Equivalence alone is not enough — both runs must also be
+		// *valid*: full single-hop coverage on a sink-anchored tour.
+		if err := check.Plan(p.Net, sol.Plan, check.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := sol.Validate(p); err != nil {
 			t.Fatal(err)
 		}
 		if err := tr.Close(); err != nil {

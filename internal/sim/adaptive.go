@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"mobicol/internal/check"
 	"mobicol/internal/energy"
 	"mobicol/internal/geom"
 	"mobicol/internal/routing"
@@ -35,6 +36,22 @@ type AdaptiveResult struct {
 	Replans int
 }
 
+// planChecked runs the SHDGP planner over a survivor subnetwork and
+// verifies the result against the single-hop invariants before the
+// simulation charges a single joule from it. A replan that strands a
+// survivor is a planner bug, and it fails the run loudly instead of
+// silently skipping the stranded sensor.
+func planChecked(sub *wsn.Network) (*shdgp.Solution, error) {
+	sol, err := shdgp.Plan(shdgp.NewProblem(sub), shdgp.DefaultPlannerOptions())
+	if err != nil {
+		return nil, err
+	}
+	if err := check.Plan(sub, sol.Plan, check.Options{}); err != nil {
+		return nil, fmt.Errorf("sim: adaptive replan over %d survivors: %w", sub.N(), err)
+	}
+	return sol, nil
+}
+
 // aliveSubnetwork builds a network over the alive sensors, returning the
 // mapping from sub-indices to original indices.
 func aliveSubnetwork(nw *wsn.Network, alive []bool) (*wsn.Network, []int) {
@@ -65,7 +82,7 @@ func RunAdaptiveMobile(nw *wsn.Network, model energy.Model, maxRounds int) (*Ada
 	}
 	res := &AdaptiveResult{Scheme: "mobile-adaptive", FirstDeath: -1, HalfLife: maxRounds}
 	sub, origIdx := aliveSubnetwork(nw, alive)
-	sol, err := shdgp.Plan(shdgp.NewProblem(sub), shdgp.DefaultPlannerOptions())
+	sol, err := planChecked(sub)
 	if err != nil {
 		return nil, err
 	}
@@ -98,15 +115,27 @@ func RunAdaptiveMobile(nw *wsn.Network, model energy.Model, maxRounds int) (*Ada
 				break
 			}
 			sub, origIdx = aliveSubnetwork(nw, alive)
-			sol, err = shdgp.Plan(shdgp.NewProblem(sub), shdgp.DefaultPlannerOptions())
+			sol, err = planChecked(sub)
 			if err != nil {
 				return nil, err
 			}
 			res.Replans++
 		}
 	}
-	// Re-planning serves every survivor by construction.
-	res.ServedAtHalf = 1
+	// Re-planning should serve every survivor; measure it from the final
+	// plan rather than asserting it. Sensors the plan strands (stop < 0)
+	// count as unserved — exactly what the oracle would reject.
+	served := 0
+	for subIdx, stop := range sol.Plan.UploadAt {
+		if stop >= 0 && alive[origIdx[subIdx]] {
+			served++
+		}
+	}
+	if aliveCount > 0 {
+		res.ServedAtHalf = float64(served) / float64(aliveCount)
+	} else {
+		res.ServedAtHalf = 1
+	}
 	return res, nil
 }
 

@@ -21,6 +21,9 @@ type LifetimeResult struct {
 	Residual energy.Stats
 	// AliveFraction is the fraction of sensors alive at the end.
 	AliveFraction float64
+	// Ledger is the final per-node energy state, exposed so callers can
+	// run the internal/check conservation oracle over the simulation.
+	Ledger *energy.Ledger
 }
 
 // RunLifetime charges scheme rounds against a fresh ledger until the first
@@ -58,6 +61,7 @@ func RunLifetimeObs(scheme Scheme, n int, model energy.Model, maxRounds int, tr 
 		Rounds:   rounds,
 		Died:     led.FirstDeath() >= 0,
 		Residual: led.ResidualStats(),
+		Ledger:   led,
 	}
 	if n > 0 {
 		res.AliveFraction = float64(led.AliveCount()) / float64(n)
