@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint vet fmt bench check cover cover-update fuzz-smoke
+.PHONY: all build test race lint lint-json lint-fix-hints vet fmt bench check cover cover-update fuzz-smoke
 
 all: check
 
@@ -16,9 +16,27 @@ race:
 
 # mdglint is this repo's own static-analysis suite (cmd/mdglint):
 # determinism, float-equality, panic, discarded-error, and global-state
-# checks. CI runs it; `make lint` reproduces the gate locally.
+# checks plus the type-aware unitcheck (units of measure), loopcapture
+# (concurrency capture), and convcheck (lossy conversion) analyzers.
+# CI runs it; `make lint` reproduces the gate locally.
 lint:
 	$(GO) run ./cmd/mdglint ./...
+
+# lint-json emits one JSON object per finding (file, line, analyzer,
+# message) — the format the CI annotation step consumes.
+lint-json:
+	$(GO) run ./cmd/mdglint -json ./...
+
+# lint-fix-hints lists the analyzers with their one-line docs as a
+# reminder of what each finding class means and how to suppress one
+# (//mdglint:ignore <analyzer> <reason> on or above the offending line).
+lint-fix-hints:
+	$(GO) run ./cmd/mdglint -list
+	@echo
+	@echo "suppress a finding with: //mdglint:ignore <analyzer> <reason>"
+	@echo "unitcheck: keep unit types (geom.Meters, energy.Joules, sim.Rounds);"
+	@echo "  annotate true conversion boundaries (JSON IO, math stdlib) instead"
+	@echo "  of laundering through float64."
 
 vet:
 	$(GO) vet ./...

@@ -18,6 +18,7 @@ import (
 	"mobicol/internal/check"
 	"mobicol/internal/collector"
 	"mobicol/internal/energy"
+	"mobicol/internal/geom"
 	"mobicol/internal/obs"
 	"mobicol/internal/obs/report"
 	"mobicol/internal/par"
@@ -128,8 +129,8 @@ func run() error {
 	}
 
 	model := energy.DefaultModel()
-	model.InitialJ = *battery
-	spec := collector.Spec{Speed: *speed, UploadTime: 0.1}
+	model.InitialJ = energy.Joules(*battery)
+	spec := collector.Spec{Speed: geom.MetersPerSecond(*speed), UploadTime: 0.1}
 
 	fmt.Printf("network: %v, battery %.3f J\n\n", nw, *battery)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -140,7 +141,8 @@ func run() error {
 			return err
 		}
 		if *doCheck {
-			if err := check.Ledger(res.Ledger, res.Rounds); err != nil {
+			//mdglint:ignore unitcheck oracle boundary: conservation is checked against the raw round count
+			if err := check.Ledger(res.Ledger, int(res.Rounds)); err != nil {
 				return fmt.Errorf("%s: %w", s.Name(), err)
 			}
 		}

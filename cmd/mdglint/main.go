@@ -1,6 +1,7 @@
 // Command mdglint runs the repository's static-analysis suite: the
-// determinism, floateq, nopanic, errcheck, and globalvar analyzers from
-// internal/lint over every package in the module.
+// determinism, floateq, nopanic, errcheck, globalvar, unitcheck,
+// loopcapture, and convcheck analyzers from internal/lint over every
+// package in the module.
 //
 // Usage:
 //
@@ -9,11 +10,16 @@
 // Any package-pattern arguments are accepted for familiarity but the tool
 // always lints the whole module containing the working directory — the
 // quality gate is all-or-nothing. It prints one `file:line: analyzer:
-// message` per finding and exits 1 when any survive their suppressions
-// (`//mdglint:ignore <analyzer> <reason>`), 2 on load errors.
+// message` per finding (or, with -json, one JSON object per line with
+// file, line, analyzer, and message fields for CI annotation) and exits 1
+// when any survive their suppressions (`//mdglint:ignore <analyzer>
+// <reason>`), 2 on load errors. Parse and type-check diagnostics surface
+// as findings from the pseudo-analyzer "load" and fail the gate like any
+// other finding.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,10 +27,19 @@ import (
 	"mobicol/internal/lint"
 )
 
+// jsonFinding is the stable one-line-per-finding CI format.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit one JSON object per finding instead of file:line text")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: mdglint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mdglint [-list] [-json] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Lints the whole module around the working directory.\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
@@ -44,13 +59,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mdglint:", err)
 		os.Exit(2)
 	}
-	pkgs, err := lint.LoadModule(wd)
+	pkgs, diags, err := lint.LoadModule(wd)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mdglint:", err)
 		os.Exit(2)
 	}
-	findings := lint.Run(pkgs, lint.Analyzers())
+	findings := append(diags, lint.Run(pkgs, lint.Analyzers())...)
+	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
+		if *asJSON {
+			if err := enc.Encode(jsonFinding{
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "mdglint:", err)
+				os.Exit(2)
+			}
+			continue
+		}
 		fmt.Println(f)
 	}
 	if n := len(findings); n > 0 {

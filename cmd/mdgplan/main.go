@@ -20,6 +20,7 @@ import (
 	"mobicol/internal/check"
 	"mobicol/internal/collector"
 	"mobicol/internal/cover"
+	"mobicol/internal/geom"
 	"mobicol/internal/mtsp"
 	"mobicol/internal/obs"
 	"mobicol/internal/obs/report"
@@ -173,7 +174,7 @@ func run() error {
 		}
 	}
 
-	spec := collector.Spec{Speed: *speed, UploadTime: 0.1}
+	spec := collector.Spec{Speed: geom.MetersPerSecond(*speed), UploadTime: 0.1}
 	fmt.Printf("network:    %v\n", nw)
 	fmt.Printf("algorithm:  %s\n", label)
 	if sol != nil {

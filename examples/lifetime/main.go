@@ -39,7 +39,7 @@ func main() {
 		mobicol.StaticScheme(static),
 	}
 	fmt.Printf("%-28s %10s %10s %14s\n", "scheme", "lifetime", "coverage", "residual std")
-	var lifetimes []int
+	var lifetimes []mobicol.Rounds
 	for _, s := range schemes {
 		res, err := mobicol.RunLifetime(s, nw.N(), model, 5_000_000)
 		if err != nil {
@@ -49,6 +49,7 @@ func main() {
 		fmt.Printf("%-28s %10d %10.2f %14.5f\n", s.Name(), res.Rounds, s.Coverage(), res.Residual.Std)
 	}
 	fmt.Printf("\nmobile single-hop outlives the static sink by %.1fx\n",
+		//mdglint:ignore unitcheck dimensionless ratio of two lifetimes
 		float64(lifetimes[0])/float64(lifetimes[2]))
 
 	// The price: per-round latency. Multi-hop relay finishes in

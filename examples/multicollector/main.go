@@ -46,7 +46,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\n3 collectors -> longest sub-tour %.0f m (%.1f min per round)\n",
-		split.MaxLength(), split.MaxLength()/spec.Speed/60)
+		split.MaxLength(), mobicol.Meters(split.MaxLength()).TravelTime(spec.Speed)/60)
 
 	// Turn the split into executable per-collector plans; sensors follow
 	// their stop to its collector.

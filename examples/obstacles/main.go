@@ -47,7 +47,7 @@ func main() {
 	fmt.Printf("coverage:     %d/%d sensors within one hop of a stop\n", served, nw.N())
 
 	spec := mobicol.DefaultCollectorSpec()
-	fmt.Printf("round time:   %.1f min at %.1f m/s\n", tour.Length/spec.Speed/60, spec.Speed)
+	fmt.Printf("round time:   %.1f min at %.1f m/s\n", mobicol.Meters(tour.Length).TravelTime(spec.Speed)/60, spec.Speed)
 
 	if len(os.Args) > 1 && os.Args[1] == "-svg" {
 		fmt.Println("\n(render with cmd/mdgplan -svg for the no-obstacle case;")

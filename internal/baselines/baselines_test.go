@@ -58,7 +58,7 @@ func TestCLATourLongerThanFieldWidthTimesLines(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := int(math.Ceil(200.0 / 50.0))
-	if plan.Length() < float64(lines-1)*180 {
+	if float64(plan.Length()) < float64(lines-1)*180 {
 		t.Fatalf("CLA tour %.1f suspiciously short for %d lines", plan.Length(), lines)
 	}
 }
@@ -127,7 +127,7 @@ func TestStraightLineTourLengthIndependentOfDeployment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(pa.TourLength()-pb.TourLength()) > 1e-9 {
+	if math.Abs(float64(pa.TourLength()-pb.TourLength())) > 1e-9 {
 		t.Fatalf("fixed-track tour varies with deployment: %v vs %v", pa.TourLength(), pb.TourLength())
 	}
 	if pa.TourLength() < 3*200 {

@@ -104,7 +104,7 @@ func PlanStraightLine(nw *wsn.Network, tracks int) (*StraightLinePlan, error) {
 // the field border, and back to the sink. The tracks are fixed
 // infrastructure, so this length is independent of the deployment — the
 // defining property (and weakness) of the scheme.
-func (p *StraightLinePlan) TourLength() float64 {
+func (p *StraightLinePlan) TourLength() geom.Meters {
 	total := 0.0
 	cur := p.Net.Sink
 	for i, tr := range p.Tracks {
@@ -117,7 +117,7 @@ func (p *StraightLinePlan) TourLength() float64 {
 		cur = b
 		_ = i
 	}
-	return total + cur.Dist(p.Net.Sink)
+	return geom.Meters(total + cur.Dist(p.Net.Sink))
 }
 
 // UploadDistance returns the single-hop upload distance of track-adjacent

@@ -129,7 +129,9 @@ func E12LossyLinks(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			//mdglint:ignore unitcheck aggregation boundary: round counts averaged as float64 table statistics
 			mr = append(mr, float64(a.Rounds))
+			//mdglint:ignore unitcheck aggregation boundary: round counts averaged as float64 table statistics
 			sr = append(sr, float64(b.Rounds))
 			md = append(md, mob.DeliveryRatio())
 			sd = append(sd, static.DeliveryRatio())
@@ -169,7 +171,8 @@ func E13Scheduling(cfg Config) (*Table, error) {
 	const buffer = 40.0
 	for _, hotspot := range []bool{false, true} {
 		for _, rate := range rates {
-			var minV, cycLoss, edfLoss, visitRatio []float64
+			var minV []geom.MetersPerSecond
+			var cycLoss, edfLoss, visitRatio []float64
 			for trial := 0; trial < cfg.trials(); trial++ {
 				seed := cfg.Seed + uint64(trial)*61027
 				nw := deploy(n, 200, 30, seed)

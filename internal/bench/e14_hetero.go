@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"mobicol/internal/geom"
 	"mobicol/internal/rng"
 	"mobicol/internal/shdgp"
 	"mobicol/internal/stats"
@@ -27,9 +28,10 @@ func E14Hetero(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		n = 80
 	}
-	baseline := 0.0
+	baseline := geom.Meters(0)
 	for fi, frac := range fractions {
-		var lens, stops []float64
+		var lens []geom.Meters
+		var stops []float64
 		for trial := 0; trial < cfg.trials(); trial++ {
 			seed := cfg.Seed + uint64(trial)*71059
 			nw := deploy(n, 200, 30, seed)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mobicol/internal/collector"
+	"mobicol/internal/geom"
 	"mobicol/internal/shdgp"
 	"mobicol/internal/sim"
 	"mobicol/internal/stats"
@@ -35,7 +36,8 @@ func E16Rotation(cfg Config) (*Table, error) {
 	spec := collector.DefaultSpec()
 	baseline := 0.0
 	for ki, k := range ks {
-		var rounds, tours, times []float64
+		var rounds, times []float64
+		var tours []geom.Meters
 		for trial := 0; trial < cfg.trials(); trial++ {
 			seed := cfg.Seed + uint64(trial)*91099
 			nw := deploy(n, 200, 30, seed)
@@ -55,6 +57,7 @@ func E16Rotation(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			//mdglint:ignore unitcheck aggregation boundary: round counts averaged as float64 table statistics
 			rounds = append(rounds, float64(res.Rounds))
 			tours = append(tours, rot.TourLength())
 			times = append(times, rot.RoundTime(spec, 0))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mobicol/internal/baselines"
+	"mobicol/internal/geom"
 	"mobicol/internal/shdgp"
 	"mobicol/internal/stats"
 )
@@ -28,7 +29,7 @@ func E1OptimalGap(cfg Config) (*Table, error) {
 		sizes = []int{10, 15}
 	}
 	for _, n := range sizes {
-		var optL, heurL, claL []float64
+		var optL, heurL, claL []geom.Meters
 		var optStops, heurStops, ilpStops []int
 		for trial := 0; trial < cfg.trials(); trial++ {
 			seed := cfg.Seed + uint64(trial)*1000 + uint64(n)

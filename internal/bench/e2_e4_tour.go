@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mobicol/internal/baselines"
+	"mobicol/internal/geom"
 	"mobicol/internal/par"
 	"mobicol/internal/shdgp"
 	"mobicol/internal/stats"
@@ -14,10 +15,11 @@ import (
 // point. Trials fan out across the config's pool; per-trial seeds are
 // fixed by trial index and the means fold in index order, so the row is
 // identical for every pool size.
-func tourRow(cfg Config, n int, side, r float64, tag uint64) (shdg, visitAll, cla float64, stops float64, err error) {
+func tourRow(cfg Config, n int, side, r float64, tag uint64) (shdg, visitAll, cla geom.Meters, stops float64, err error) {
 	type trialOut struct {
-		shdg, visitAll, cla, stops float64
-		err                        error
+		shdg, visitAll, cla geom.Meters
+		stops               float64
+		err                 error
 	}
 	outs := par.Map(cfg.pool(), cfg.trials(), func(trial int) trialOut {
 		seed := cfg.Seed + uint64(trial)*7919 + tag
@@ -45,7 +47,8 @@ func tourRow(cfg Config, n int, side, r float64, tag uint64) (shdg, visitAll, cl
 		}
 		return trialOut{shdg: sol.Length, visitAll: all.Length, cla: claPlan.Length(), stops: float64(sol.Stops())}
 	})
-	var sl, vl, cl, st []float64
+	var sl, vl, cl []geom.Meters
+	var st []float64
 	for _, o := range outs {
 		if o.err != nil {
 			return 0, 0, 0, 0, o.err

@@ -6,6 +6,7 @@ import (
 	"mobicol/internal/baselines"
 	"mobicol/internal/collector"
 	"mobicol/internal/energy"
+	"mobicol/internal/geom"
 	"mobicol/internal/routing"
 	"mobicol/internal/sim"
 	"mobicol/internal/stats"
@@ -65,7 +66,7 @@ func E6Lifetime(cfg Config) (*Table, error) {
 	const horizon = 2_000_000
 	for _, n := range ns {
 		acc := map[string][]float64{}
-		var stdMobile, stdStatic []float64
+		var stdMobile, stdStatic []energy.Joules
 		for trial := 0; trial < cfg.trials(); trial++ {
 			seed := cfg.Seed + uint64(trial)*6151 + uint64(n)
 			nw := deploy(n, 200, 30, seed)
@@ -78,6 +79,7 @@ func E6Lifetime(cfg Config) (*Table, error) {
 				if err != nil {
 					return nil, err
 				}
+				//mdglint:ignore unitcheck aggregation boundary: round counts averaged as float64 table statistics
 				acc[s.Name()] = append(acc[s.Name()], float64(res.Rounds))
 				switch s.Name() {
 				case "shdg":
@@ -115,7 +117,7 @@ func E7Latency(cfg Config) (*Table, error) {
 	const relayDelay = 0.005
 	for _, n := range ns {
 		acc := map[string][]float64{}
-		var tours []float64
+		var tours []geom.Meters
 		for trial := 0; trial < cfg.trials(); trial++ {
 			seed := cfg.Seed + uint64(trial)*6151 + uint64(n)
 			nw := deploy(n, 200, 30, seed)

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"mobicol/internal/cover"
+	"mobicol/internal/geom"
 	"mobicol/internal/shdgp"
 	"mobicol/internal/stats"
 	"mobicol/internal/tsp"
@@ -52,10 +53,11 @@ func E8Ablations(cfg Config) (*Table, error) {
 		variants = variants[:4]
 	}
 
-	baseline := 0.0
+	baseline := geom.Meters(0)
 	for vi, v := range variants {
 		sweep := strings.HasPrefix(v.name, "heuristic: SPT-sweep")
-		var lens, stops []float64
+		var lens []geom.Meters
+		var stops []float64
 		for trial := 0; trial < cfg.trials(); trial++ {
 			seed := cfg.Seed + uint64(trial)*31013
 			nw := deploy(n, 200, 30, seed)

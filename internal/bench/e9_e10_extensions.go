@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mobicol/internal/collector"
+	"mobicol/internal/geom"
 	"mobicol/internal/routing"
 	"mobicol/internal/shdgp"
 	"mobicol/internal/sim"
@@ -34,9 +35,10 @@ func E9BufferCapacity(cfg Config) (*Table, error) {
 		caps = []int{0, 5, 1}
 	}
 	spec := collector.DefaultSpec()
-	baseline := 0.0
+	baseline := geom.Meters(0)
 	for ci, cap := range caps {
-		var lens, stops, peaks []float64
+		var lens []geom.Meters
+		var stops, peaks []float64
 		for trial := 0; trial < cfg.trials(); trial++ {
 			seed := cfg.Seed + uint64(trial)*15013
 			nw := deploy(n, 200, 30, seed)

@@ -52,7 +52,7 @@ func TestTourRowWorkerEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return row{s, v, c, st}
+		return row{float64(s), float64(v), float64(c), st}
 	}
 	seqRow, parRow := get(1), get(8)
 	pairs := [4][2]float64{

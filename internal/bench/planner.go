@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"mobicol/internal/baselines"
+	"mobicol/internal/geom"
 	"mobicol/internal/obs"
 	"mobicol/internal/par"
 	"mobicol/internal/shdgp"
@@ -60,10 +61,10 @@ func PlannerBenchmarks(cfg Config) (*PlannerBenchResult, error) {
 	}
 	type algoRun struct {
 		name string
-		plan func(tr *obs.Trace, seed uint64) (tourM float64, stops int, err error)
+		plan func(tr *obs.Trace, seed uint64) (tourM geom.Meters, stops int, err error)
 	}
 	algos := []algoRun{
-		{"shdg", func(tr *obs.Trace, seed uint64) (float64, int, error) {
+		{"shdg", func(tr *obs.Trace, seed uint64) (geom.Meters, int, error) {
 			opts := shdgp.DefaultPlannerOptions()
 			opts.Obs = tr
 			nw := deploy(n, side, rng, seed)
@@ -76,7 +77,7 @@ func PlannerBenchmarks(cfg Config) (*PlannerBenchResult, error) {
 			}
 			return sol.Length, sol.Stops(), nil
 		}},
-		{"visit-all", func(tr *obs.Trace, seed uint64) (float64, int, error) {
+		{"visit-all", func(tr *obs.Trace, seed uint64) (geom.Meters, int, error) {
 			root := tr.Start("plan")
 			defer root.End()
 			opts := tsp.DefaultOptions()
@@ -92,7 +93,7 @@ func PlannerBenchmarks(cfg Config) (*PlannerBenchResult, error) {
 			}
 			return sol.Length, sol.Stops(), nil
 		}},
-		{"cla", func(tr *obs.Trace, seed uint64) (float64, int, error) {
+		{"cla", func(tr *obs.Trace, seed uint64) (geom.Meters, int, error) {
 			root := tr.Start("plan")
 			defer root.End()
 			nw := deploy(n, side, rng, seed)
@@ -107,7 +108,7 @@ func PlannerBenchmarks(cfg Config) (*PlannerBenchResult, error) {
 		}},
 	}
 	type trialOut struct {
-		tourM float64
+		tourM geom.Meters
 		stops int
 		err   error
 	}
@@ -121,7 +122,7 @@ func PlannerBenchmarks(cfg Config) (*PlannerBenchResult, error) {
 			tourM, stops, err := a.plan(tr, cfg.Seed+uint64(i))
 			return trialOut{tourM: tourM, stops: stops, err: err}
 		})
-		sumTour, sumStops := 0.0, 0
+		sumTour, sumStops := geom.Meters(0), 0
 		for _, o := range outs {
 			if o.err != nil {
 				return nil, fmt.Errorf("bench: planner %s: %w", a.name, o.err)
@@ -133,8 +134,9 @@ func PlannerBenchmarks(cfg Config) (*PlannerBenchResult, error) {
 			return nil, err
 		}
 		row := PlannerAlgoBench{
-			Algo:      a.name,
-			MeanTourM: sumTour / float64(cfg.trials()),
+			Algo: a.name,
+			//mdglint:ignore unitcheck JSON boundary: BENCH_planner.json stores tour lengths as raw float64
+			MeanTourM: float64(sumTour) / float64(cfg.trials()),
 			MeanStops: float64(sumStops) / float64(cfg.trials()),
 			PhaseNs:   make(map[string]int64),
 			Spans:     make(map[string]int),

@@ -108,20 +108,22 @@ func (t *Table) WriteMarkdown(w io.Writer) error {
 	return err
 }
 
-// f1 formats a float with one decimal.
-func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+// f1 formats a float (of any float64-underlying dimension) with one
+// decimal.
+func f1[F ~float64](v F) string { return fmt.Sprintf("%.1f", float64(v)) }
 
 // f2 formats a float with two decimals.
-func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f2[F ~float64](v F) string { return fmt.Sprintf("%.2f", float64(v)) }
 
-// d formats an int.
-func d(v int) string { return fmt.Sprintf("%d", v) }
+// d formats an int (of any int-underlying dimension, e.g. sim.Rounds).
+func d[I ~int](v I) string { return fmt.Sprintf("%d", int(v)) }
 
-// ratio formats a/b as "x.xx×".
-func ratio(a, b float64) string {
+// ratio formats a/b as "x.xx×". Both operands must carry the same
+// dimension, which is exactly what makes the quotient dimensionless.
+func ratio[F ~float64](a, b F) string {
 	//mdglint:ignore floateq zero-guard before division; any non-zero denominator is formattable
 	if b == 0 {
 		return "-"
 	}
-	return fmt.Sprintf("%.2fx", a/b)
+	return fmt.Sprintf("%.2fx", float64(a)/float64(b))
 }

@@ -98,7 +98,7 @@ func TestLedgerOracleAcceptsSimulations(t *testing.T) {
 				if res.Ledger == nil {
 					t.Fatalf("%s: result carries no ledger", s.Name())
 				}
-				if err := check.Ledger(res.Ledger, res.Rounds); err != nil {
+				if err := check.Ledger(res.Ledger, int(res.Rounds)); err != nil {
 					t.Fatalf("%s: %v", s.Name(), err)
 				}
 			}

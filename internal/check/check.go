@@ -125,7 +125,8 @@ func Plan(nw *wsn.Network, tp *collector.TourPlan, opts Options) error {
 			v.addf("finite-geometry: stop %d at %v is not finite", i, s)
 		}
 	}
-	if l := tp.Length(); math.IsNaN(l) || math.IsInf(l, 0) || l < 0 {
+	//mdglint:ignore unitcheck math boundary: finiteness predicates take raw float64
+	if l := float64(tp.Length()); math.IsNaN(l) || math.IsInf(l, 0) || l < 0 {
 		v.addf("finite-geometry: closed tour length %v", l)
 	}
 	if !tp.Sink.Eq(nw.Sink) {
@@ -156,9 +157,10 @@ func Plan(nw *wsn.Network, tp *collector.TourPlan, opts Options) error {
 // RecordedLength verifies a recorded tour length (a Solution.Length field,
 // a serialized length_m) against the plan's actual geometry within a
 // relative tolerance.
-func RecordedLength(tp *collector.TourPlan, recorded float64) error {
+func RecordedLength(tp *collector.TourPlan, recorded geom.Meters) error {
 	got := tp.Length()
-	if math.Abs(got-recorded) > 1e-6*(1+math.Abs(got)) {
+	//mdglint:ignore unitcheck math boundary: the relative-tolerance comparison runs on raw magnitudes
+	if math.Abs(float64(got-recorded)) > 1e-6*(1+math.Abs(float64(got))) {
 		return fmt.Errorf("check: recorded tour length %.6f, geometry says %.6f", recorded, got)
 	}
 	return nil
@@ -178,16 +180,17 @@ func Ledger(led *energy.Ledger, wantRounds int) error {
 		return fmt.Errorf("check: nil ledger")
 	}
 	var v violations
-	tol := 1e-6 * (1 + led.Model.InitialJ)
+	tol := (1 + led.Model.InitialJ).Scale(1e-6)
 	for i := 0; i < led.N(); i++ {
 		res, spent := led.Residual[i], led.SpentJ(i)
-		if math.IsNaN(res) || res < 0 {
+		//mdglint:ignore unitcheck math boundary: NaN predicate takes raw float64
+		if math.IsNaN(float64(res)) || res < 0 {
 			v.addf("bounds: node %d residual %v", i, res)
 		}
 		if res > led.Model.InitialJ+tol {
 			v.addf("bounds: node %d residual %v exceeds battery %v", i, res, led.Model.InitialJ)
 		}
-		if math.Abs(res+spent-led.Model.InitialJ) > tol {
+		if (res + spent - led.Model.InitialJ).Abs() > tol {
 			v.addf("conservation: node %d residual %v + spent %v != battery %v",
 				i, res, spent, led.Model.InitialJ)
 		}

@@ -228,7 +228,7 @@ func TestLedgerDeathBookkeeping(t *testing.T) {
 		t.Fatalf("honest death rejected: %v", err)
 	}
 	// A dead node must have spent exactly its battery, no more.
-	if got := led.SpentJ(0); math.Abs(got-m.InitialJ) > 1e-12 {
+	if got := led.SpentJ(0); math.Abs(float64(got-m.InitialJ)) > 1e-12 {
 		t.Fatalf("dead node spent %v, battery was %v", got, m.InitialJ)
 	}
 	led.Residual[0] = 0.5 * m.InitialJ // zombie: dead but holding charge

@@ -35,8 +35,8 @@ func TestScaleScalesTourLength(t *testing.T) {
 			base := planLen(t, sc)
 			scaled := check.Scenario{Name: sc.Name, Layout: sc.Layout, Net: check.Scale(sc.Net, k)}
 			got := planLen(t, scaled)
-			want := base.Length * k
-			if math.Abs(got.Length-want) > 1e-9*(1+want) {
+			want := base.Length.Scale(k)
+			if math.Abs(float64(got.Length-want)) > 1e-9*(1+float64(want)) {
 				t.Fatalf("%s ×%g: scaled tour %.9f, want %.9f (base %.9f)",
 					sc.Name, k, got.Length, want, base.Length)
 			}
@@ -62,7 +62,7 @@ func TestTranslateKeepsTourLength(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", sc.Name, err)
 		}
-		if math.Abs(got.Length-base.Length) > 1e-6*(1+base.Length) {
+		if math.Abs(float64(got.Length-base.Length)) > 1e-6*(1+float64(base.Length)) {
 			t.Fatalf("%s: translated tour %.9f, base %.9f", sc.Name, got.Length, base.Length)
 		}
 		if err := check.Plan(moved, got.Plan, check.Options{}); err != nil {

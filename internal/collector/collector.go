@@ -15,8 +15,8 @@ import (
 // Spec is the kinematic and radio profile of one M-collector. The paper
 // cites practical mobile systems moving at 0.1–2 m/s.
 type Spec struct {
-	Speed      float64 // travel speed in m/s
-	UploadTime float64 // seconds to poll + receive one sensor's packet
+	Speed      geom.MetersPerSecond // travel speed
+	UploadTime float64              // seconds to poll + receive one sensor's packet
 }
 
 // DefaultSpec matches the paper's running example: 1 m/s and a nominal
@@ -36,7 +36,7 @@ type TourPlan struct {
 }
 
 // Length returns the closed tour length: sink -> stops... -> sink.
-func (tp *TourPlan) Length() float64 {
+func (tp *TourPlan) Length() geom.Meters {
 	if len(tp.Stops) == 0 {
 		return 0
 	}
@@ -44,7 +44,7 @@ func (tp *TourPlan) Length() float64 {
 	for i := 1; i < len(tp.Stops); i++ {
 		total += tp.Stops[i-1].Dist(tp.Stops[i])
 	}
-	return total + tp.Stops[len(tp.Stops)-1].Dist(tp.Sink)
+	return geom.Meters(total + tp.Stops[len(tp.Stops)-1].Dist(tp.Sink))
 }
 
 // SensorsAt returns how many sensors upload at each stop.
@@ -102,7 +102,7 @@ func (tp *TourPlan) RoundTime(spec Spec) float64 {
 		//mdglint:ignore nopanic Spec speeds come from validated configs or literals; zero speed would silently yield +Inf latency
 		panic("collector: non-positive speed")
 	}
-	return tp.Length()/spec.Speed + float64(tp.Served())*spec.UploadTime
+	return tp.Length().TravelTime(spec.Speed) + float64(tp.Served())*spec.UploadTime
 }
 
 // ChargeRound debits each sensor's single-hop upload to its stop in the

@@ -18,7 +18,7 @@ func squarePlan() *TourPlan {
 
 func TestLength(t *testing.T) {
 	tp := squarePlan()
-	if got := tp.Length(); math.Abs(got-40) > 1e-12 {
+	if got := tp.Length(); math.Abs(float64(got)-40) > 1e-12 {
 		t.Fatalf("Length = %v, want 40", got)
 	}
 	empty := &TourPlan{Sink: geom.Pt(5, 5)}
@@ -29,7 +29,7 @@ func TestLength(t *testing.T) {
 
 func TestSingleStopOutAndBack(t *testing.T) {
 	tp := &TourPlan{Sink: geom.Pt(0, 0), Stops: []geom.Point{geom.Pt(7, 0)}}
-	if got := tp.Length(); math.Abs(got-14) > 1e-12 {
+	if got := tp.Length(); math.Abs(float64(got)-14) > 1e-12 {
 		t.Fatalf("Length = %v, want 14", got)
 	}
 }
@@ -105,7 +105,7 @@ func TestChargeRoundDebitsOnlyAssigned(t *testing.T) {
 	}
 	for i := 0; i < 3; i++ {
 		want := m.InitialJ - m.TxCost(sensors[i].Dist(tp.Stops[tp.UploadAt[i]]))
-		if math.Abs(led.Residual[i]-want) > 1e-15 {
+		if math.Abs(float64(led.Residual[i]-want)) > 1e-15 {
 			t.Fatalf("sensor %d residual %v, want %v", i, led.Residual[i], want)
 		}
 	}

@@ -25,7 +25,8 @@ func (tp *TourPlan) WriteJSON(w io.Writer) error {
 		Sink:     [2]float64{tp.Sink.X, tp.Sink.Y},
 		Stops:    make([][2]float64, len(tp.Stops)),
 		UploadAt: tp.UploadAt,
-		Length:   tp.Length(),
+		//mdglint:ignore unitcheck JSON IO boundary: the on-disk schema stores raw numbers
+		Length: float64(tp.Length()),
 	}
 	for i, s := range tp.Stops {
 		pf.Stops[i] = [2]float64{s.X, s.Y}
@@ -58,7 +59,8 @@ func ReadPlanJSON(r io.Reader) (*TourPlan, error) {
 	// Coordinates near ±MaxFloat64 decode fine individually but overflow
 	// the tour-length sum, producing a plan JSON cannot re-encode (found
 	// by FuzzTourPlanRoundTrip). Reject such plans at the boundary.
-	if l := tp.Length(); math.IsNaN(l) || math.IsInf(l, 0) {
+	//mdglint:ignore unitcheck math boundary: finiteness predicates take raw float64
+	if l := float64(tp.Length()); math.IsNaN(l) || math.IsInf(l, 0) {
 		return nil, fmt.Errorf("collector: plan tour length is not finite")
 	}
 	return tp, nil

@@ -36,7 +36,7 @@ func TestPlanJSONRoundTrip(t *testing.T) {
 			t.Fatalf("assignment %d changed", i)
 		}
 	}
-	if math.Abs(got.Length()-tp.Length()) > 1e-9 {
+	if math.Abs(float64(got.Length()-tp.Length())) > 1e-9 {
 		t.Fatal("length changed")
 	}
 }

@@ -10,6 +10,27 @@ import (
 	"math"
 )
 
+// Joules is an amount of energy. Like geom.Meters it is a zero-cost
+// named type: identical code to float64, but the compiler rejects
+// mixing it with tour lengths or times, and the mdglint unitcheck
+// analyzer rejects conversions that strip the dimension outside
+// annotated boundaries.
+type Joules float64
+
+// Scale returns the energy scaled by the dimensionless factor f (e.g.
+// an expected retransmission count).
+func (j Joules) Scale(f float64) Joules { return j * Joules(f) }
+
+// Abs returns the magnitude of j. Ledger conservation checks compare
+// signed residuals; keeping the fold on Joules avoids laundering the
+// dimension through math.Abs.
+func (j Joules) Abs() Joules {
+	if j < 0 {
+		return -j
+	}
+	return j
+}
+
 // Model is the first-order radio model:
 //
 //	E_tx(k bits, d metres) = k·Elec + k·Amp·d^PathLossExp
@@ -19,7 +40,7 @@ type Model struct {
 	Amp         float64 // amplifier energy per bit per m^PathLossExp
 	PathLossExp float64 // path-loss exponent (2 free space, 4 multipath)
 	PacketBits  float64 // bits per data packet
-	InitialJ    float64 // initial battery energy per sensor (J)
+	InitialJ    Joules  // initial battery energy per sensor (J)
 }
 
 // DefaultModel returns the parameter set used throughout the experiments:
@@ -37,16 +58,16 @@ func DefaultModel() Model {
 }
 
 // TxCost returns the energy to transmit one packet over distance d.
-func (m Model) TxCost(d float64) float64 {
+func (m Model) TxCost(d float64) Joules {
 	if d < 0 {
 		//mdglint:ignore nopanic distances are Euclidean norms, so negative input is a caller bug, not a data condition
 		panic("energy: negative distance")
 	}
-	return m.PacketBits * (m.Elec + m.Amp*math.Pow(d, m.PathLossExp))
+	return Joules(m.PacketBits * (m.Elec + m.Amp*math.Pow(d, m.PathLossExp)))
 }
 
 // RxCost returns the energy to receive one packet.
-func (m Model) RxCost() float64 { return m.PacketBits * m.Elec }
+func (m Model) RxCost() Joules { return Joules(m.PacketBits * m.Elec) }
 
 // Ledger tracks per-node residual energy across rounds. Alongside the
 // residual it records the energy each node actually spent (charges are
@@ -55,8 +76,8 @@ func (m Model) RxCost() float64 { return m.PacketBits * m.Elec }
 // conservation invariant internal/check verifies after simulations.
 type Ledger struct {
 	Model    Model
-	Residual []float64
-	spent    []float64
+	Residual []Joules
+	spent    []Joules
 	deadAt   []int // round of death, -1 while alive
 	round    int
 }
@@ -65,8 +86,8 @@ type Ledger struct {
 func NewLedger(n int, m Model) *Ledger {
 	l := &Ledger{
 		Model:    m,
-		Residual: make([]float64, n),
-		spent:    make([]float64, n),
+		Residual: make([]Joules, n),
+		spent:    make([]Joules, n),
 		deadAt:   make([]int, n),
 	}
 	for i := range l.Residual {
@@ -91,7 +112,7 @@ func (l *Ledger) ChargeRx(i int) { l.charge(i, l.Model.RxCost()) }
 // Debit removes an arbitrary non-negative amount of energy from node i.
 // The lossy-link accounting uses it for fractional expected-transmission
 // costs that the unit ChargeTx/ChargeRx operations cannot express.
-func (l *Ledger) Debit(i int, joules float64) {
+func (l *Ledger) Debit(i int, joules Joules) {
 	if joules < 0 {
 		//mdglint:ignore nopanic negative debit would silently mint energy; callers pass computed non-negative costs
 		panic("energy: negative debit")
@@ -99,7 +120,7 @@ func (l *Ledger) Debit(i int, joules float64) {
 	l.charge(i, joules)
 }
 
-func (l *Ledger) charge(i int, e float64) {
+func (l *Ledger) charge(i int, e Joules) {
 	if l.deadAt[i] >= 0 {
 		return // the dead spend nothing
 	}
@@ -117,7 +138,7 @@ func (l *Ledger) charge(i int, e float64) {
 // SpentJ returns the total energy node i has spent so far. For every node
 // SpentJ(i) + Residual[i] equals Model.InitialJ up to floating-point
 // accumulation — the conservation invariant the check oracles enforce.
-func (l *Ledger) SpentJ(i int) float64 { return l.spent[i] }
+func (l *Ledger) SpentJ(i int) Joules { return l.spent[i] }
 
 // EndRound marks the end of a gathering round.
 func (l *Ledger) EndRound() { l.round++ }
@@ -150,7 +171,7 @@ func (l *Ledger) FirstDeath() int {
 
 // Stats summarises residual energy across living and dead sensors.
 type Stats struct {
-	Min, Max, Mean, Std float64
+	Min, Max, Mean, Std Joules
 }
 
 // ResidualStats returns summary statistics of residual energy. The paper
@@ -161,23 +182,28 @@ func (l *Ledger) ResidualStats() Stats {
 	if n == 0 {
 		return Stats{}
 	}
-	st := Stats{Min: math.Inf(1), Max: math.Inf(-1)}
-	sum := 0.0
+	st := Stats{Min: Joules(math.Inf(1)), Max: Joules(math.Inf(-1))}
+	sum := Joules(0)
 	for _, r := range l.Residual {
-		st.Min = math.Min(st.Min, r)
-		st.Max = math.Max(st.Max, r)
+		if r < st.Min {
+			st.Min = r
+		}
+		if r > st.Max {
+			st.Max = r
+		}
 		sum += r
 	}
-	st.Mean = sum / float64(n)
+	st.Mean = sum / Joules(n)
 	// Two-pass variance: the one-pass formula cancels catastrophically
 	// when residuals cluster near a large mean, which is the common case
 	// (full batteries minus tiny per-round costs).
 	variance := 0.0
 	for _, r := range l.Residual {
-		d := r - st.Mean
+		//mdglint:ignore unitcheck math boundary: variance accumulates squared joules, which has no named type
+		d := float64(r - st.Mean)
 		variance += d * d
 	}
-	st.Std = math.Sqrt(variance / float64(n))
+	st.Std = Joules(math.Sqrt(variance / float64(n)))
 	return st
 }
 

@@ -2,6 +2,7 @@ package energy
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -20,14 +21,14 @@ func TestTxCostMonotoneInDistance(t *testing.T) {
 
 func TestTxCostZeroDistanceEqualsElectronics(t *testing.T) {
 	m := DefaultModel()
-	if got, want := m.TxCost(0), m.PacketBits*m.Elec; math.Abs(got-want) > 1e-15 {
+	if got, want := m.TxCost(0), Joules(m.PacketBits*m.Elec); math.Abs(float64(got-want)) > 1e-15 {
 		t.Fatalf("TxCost(0) = %v, want %v", got, want)
 	}
 }
 
 func TestRxCost(t *testing.T) {
 	m := DefaultModel()
-	if got, want := m.RxCost(), 4000*50e-9; math.Abs(got-want) > 1e-15 {
+	if got, want := m.RxCost(), Joules(4000*50e-9); math.Abs(float64(got-want)) > 1e-15 {
 		t.Fatalf("RxCost = %v, want %v", got, want)
 	}
 }
@@ -47,7 +48,7 @@ func TestPathLossExponent(t *testing.T) {
 	// Quadrupling cost ratio: (2d)^4 / d^4 = 16 on the amplifier term.
 	amp1 := m.TxCost(10) - m.TxCost(0)
 	amp2 := m.TxCost(20) - m.TxCost(0)
-	if math.Abs(amp2/amp1-16) > 1e-9 {
+	if math.Abs(float64(amp2/amp1)-16) > 1e-9 {
 		t.Fatalf("exponent-4 amplifier ratio = %v, want 16", amp2/amp1)
 	}
 }
@@ -110,7 +111,7 @@ func TestResidualStatsUniformVsSkewed(t *testing.T) {
 	if ss.Std <= us.Std {
 		t.Fatal("skewed load should have larger Std")
 	}
-	if math.Abs(us.Mean-(m.InitialJ-m.TxCost(20))) > 1e-12 {
+	if math.Abs(float64(us.Mean-(m.InitialJ-m.TxCost(20)))) > 1e-12 {
 		t.Fatalf("uniform Mean = %v", us.Mean)
 	}
 }
@@ -140,5 +141,76 @@ func TestQuickResidualMonotone(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestJoulesScaleAndAbs(t *testing.T) {
+	if got := Joules(2).Scale(1.5); got != 3 {
+		t.Errorf("Scale(1.5) = %v, want 3", got)
+	}
+	if got := Joules(-0.25).Abs(); got != 0.25 {
+		t.Errorf("Abs(-0.25) = %v, want 0.25", got)
+	}
+	if got := Joules(0.25).Abs(); got != 0.25 {
+		t.Errorf("Abs(0.25) = %v, want 0.25", got)
+	}
+}
+
+// TestLedgerAccessorsAndConservation exercises N/Round/Debit/SpentJ and
+// the conservation invariant SpentJ(i) + Residual[i] == InitialJ.
+func TestLedgerAccessorsAndConservation(t *testing.T) {
+	m := DefaultModel()
+	l := NewLedger(3, m)
+	if l.N() != 3 {
+		t.Fatalf("N() = %d, want 3", l.N())
+	}
+	if l.Round() != 0 {
+		t.Fatalf("Round() = %d before any EndRound, want 0", l.Round())
+	}
+	l.ChargeTx(0, 40)
+	l.Debit(1, Joules(0.125))
+	l.EndRound()
+	if l.Round() != 1 {
+		t.Fatalf("Round() = %d after EndRound, want 1", l.Round())
+	}
+	for i := 0; i < l.N(); i++ {
+		sum := l.SpentJ(i) + l.Residual[i]
+		if (sum - m.InitialJ).Abs() > 1e-12 {
+			t.Errorf("node %d: spent %v + residual %v != initial %v", i, l.SpentJ(i), l.Residual[i], m.InitialJ)
+		}
+	}
+	if l.SpentJ(1) != 0.125 {
+		t.Errorf("SpentJ(1) = %v, want 0.125", l.SpentJ(1))
+	}
+	if s := l.String(); !strings.Contains(s, "n=3") || !strings.Contains(s, "round=1") {
+		t.Errorf("String() = %q, want n=3 and round=1 in summary", s)
+	}
+}
+
+func TestDebitNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Debit did not panic")
+		}
+	}()
+	NewLedger(1, DefaultModel()).Debit(0, Joules(-1))
+}
+
+// TestDebitOverdrawKillsNode pins the fatal-overdraw clamp: a debit
+// larger than the residual spends only what was left and records death.
+func TestDebitOverdrawKillsNode(t *testing.T) {
+	m := DefaultModel()
+	m.InitialJ = 0.01
+	l := NewLedger(1, m)
+	l.Debit(0, Joules(1))
+	if l.Alive(0) {
+		t.Error("node survived a debit larger than its battery")
+	}
+	if l.Residual[0] != 0 || l.SpentJ(0) != m.InitialJ {
+		t.Errorf("overdraw: residual %v, spent %v, want 0 and %v", l.Residual[0], l.SpentJ(0), m.InitialJ)
+	}
+	l.Debit(0, Joules(1)) // the dead spend nothing
+	if l.SpentJ(0) != m.InitialJ {
+		t.Errorf("dead node spent more energy: %v", l.SpentJ(0))
 	}
 }

@@ -58,10 +58,10 @@ func TestPathLengthDegenerate(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if got := PathLength(tc.pts); got != tc.open {
+			if got := PathLength(tc.pts); got != Meters(tc.open) {
 				t.Fatalf("PathLength = %v, want %v", got, tc.open)
 			}
-			if got := ClosedPathLength(tc.pts); got != tc.loop {
+			if got := ClosedPathLength(tc.pts); got != Meters(tc.loop) {
 				t.Fatalf("ClosedPathLength = %v, want %v", got, tc.loop)
 			}
 		})

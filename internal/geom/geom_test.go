@@ -89,10 +89,10 @@ func TestOrientation(t *testing.T) {
 
 func TestPathLengths(t *testing.T) {
 	sq := []Point{Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1)}
-	if got := PathLength(sq); !almostEq(got, 3, 1e-12) {
+	if got := PathLength(sq); !almostEq(float64(got), 3, 1e-12) {
 		t.Fatalf("PathLength = %v", got)
 	}
-	if got := ClosedPathLength(sq); !almostEq(got, 4, 1e-12) {
+	if got := ClosedPathLength(sq); !almostEq(float64(got), 4, 1e-12) {
 		t.Fatalf("ClosedPathLength = %v", got)
 	}
 	if ClosedPathLength([]Point{Pt(3, 3)}) != 0 {

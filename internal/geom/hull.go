@@ -49,7 +49,7 @@ func ConvexHull(pts []Point) []Point {
 }
 
 // PolygonPerimeter returns the perimeter of the closed polygon poly.
-func PolygonPerimeter(poly []Point) float64 { return ClosedPathLength(poly) }
+func PolygonPerimeter(poly []Point) Meters { return ClosedPathLength(poly) }
 
 // PolygonArea returns the (positive) area of the simple polygon poly via
 // the shoelace formula.

@@ -112,19 +112,19 @@ func Orientation(a, b, c Point) int {
 }
 
 // PathLength returns the total length of the open polyline through pts.
-func PathLength(pts []Point) float64 {
+func PathLength(pts []Point) Meters {
 	total := 0.0
 	for i := 1; i < len(pts); i++ {
 		total += pts[i-1].Dist(pts[i])
 	}
-	return total
+	return Meters(total)
 }
 
 // ClosedPathLength returns the length of the closed polygon through pts
 // (the final edge returns to pts[0]).
-func ClosedPathLength(pts []Point) float64 {
+func ClosedPathLength(pts []Point) Meters {
 	if len(pts) < 2 {
 		return 0
 	}
-	return PathLength(pts) + pts[len(pts)-1].Dist(pts[0])
+	return PathLength(pts) + Meters(pts[len(pts)-1].Dist(pts[0]))
 }

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// isHotConvPackage reports whether importPath is one of the planning-path
+// packages where a silent precision loss shows up directly in tour lengths
+// and energy totals; the float32 truncation rule applies only there so
+// cold paths (viz, report output) can keep compact representations.
+func isHotConvPackage(importPath string) bool {
+	for _, suffix := range []string{
+		"internal/geom", "internal/tsp", "internal/cover", "internal/shdgp",
+		"internal/collector", "internal/par", "internal/sim",
+	} {
+		if strings.HasSuffix(importPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// ConvCheckAnalyzer builds the numeric-conversion checker.
+//
+// Three shapes are flagged:
+//
+//   - redundant conversions T(x) where x is already of type T: noise that
+//     usually marks a half-finished refactor;
+//   - integer round-trips int(float64(x)) where x is an integer: the
+//     detour through floating point silently corrupts values above 2^53;
+//   - float32 truncation of a float64 value inside the hot planning
+//     packages, where the lost mantissa bits feed tour-length comparisons.
+//
+// Test files are exempt.
+func ConvCheckAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "convcheck",
+		Doc:  "flag redundant numeric conversions, int/float round-trips, and float32 truncation in hot planning paths",
+		Run:  runConvCheck,
+	}
+}
+
+func runConvCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	hot := isHotConvPackage(pass.Pkg.ImportPath)
+	for _, file := range pass.Pkg.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			dst := tv.Type
+			argTV, ok := info.Types[call.Args[0]]
+			if !ok || argTV.Type == nil {
+				return true
+			}
+			src := argTV.Type
+			if isTypeParam(dst) || isTypeParam(src) {
+				return true
+			}
+
+			if argTV.Value == nil && types.Identical(dst, src) {
+				pass.Reportf(call.Pos(),
+					"redundant conversion: expression is already of type %s", typeName(dst))
+				return true
+			}
+
+			if isIntegerType(dst) {
+				if inner, ok := call.Args[0].(*ast.CallExpr); ok && len(inner.Args) == 1 {
+					if innerTV, ok := info.Types[inner.Fun]; ok && innerTV.IsType() && isFloatType(innerTV.Type) {
+						if innerArg, ok := info.Types[inner.Args[0]]; ok && innerArg.Value == nil && isIntegerType(innerArg.Type) {
+							pass.Reportf(call.Pos(),
+								"lossy round-trip: integer converted through %s back to %s loses precision above 2^53",
+								typeName(innerTV.Type), typeName(dst))
+							return true
+						}
+					}
+				}
+			}
+
+			if hot && isFloat32Type(dst) && isFloat64Type(src) {
+				pass.Reportf(call.Pos(),
+					"float32 truncation of a float64 value in a hot planning path; keep float64 precision here")
+			}
+			return true
+		})
+	}
+}
+
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+func basicOf(t types.Type) *types.Basic {
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return nil
+	}
+	return basic
+}
+
+func isIntegerType(t types.Type) bool {
+	b := basicOf(t)
+	return b != nil && b.Info()&types.IsInteger != 0
+}
+
+func isFloatType(t types.Type) bool {
+	b := basicOf(t)
+	return b != nil && b.Info()&types.IsFloat != 0
+}
+
+func isFloat32Type(t types.Type) bool {
+	b := basicOf(t)
+	return b != nil && b.Kind() == types.Float32
+}
+
+func isFloat64Type(t types.Type) bool {
+	b := basicOf(t)
+	return b != nil && b.Kind() == types.Float64
+}

@@ -64,6 +64,8 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 }
 
 // Analyzers returns fresh instances of the full suite, in reporting order.
+// The first five are syntactic; unitcheck, loopcapture, and convcheck
+// need the go/types information the loader attaches to each Package.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer(),
@@ -71,6 +73,9 @@ func Analyzers() []*Analyzer {
 		NoPanicAnalyzer(),
 		ErrCheckAnalyzer(),
 		GlobalVarAnalyzer(),
+		UnitCheckAnalyzer(),
+		LoopCaptureAnalyzer(),
+		ConvCheckAnalyzer(),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"os"
@@ -78,17 +79,28 @@ type rawPkg struct {
 // import packages which depend on foo — merging them into foo would
 // manufacture import cycles — so their files are skipped here and vetted
 // by `go vet` / the compiler instead.
-func LoadModule(root string) ([]*Package, error) {
+//
+// Parse and type-check failures do not abort the load: they come back as
+// findings under the pseudo-analyzer "load", positioned at the offending
+// source line, and the affected package is still returned with whatever
+// partial type information the checker recovered (analyzers tolerate
+// incomplete Info maps). The error return is reserved for structural
+// problems — no go.mod, unreadable directories, import cycles.
+func LoadModule(root string) ([]*Package, []Finding, error) {
 	root, err := FindModuleRoot(root)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	module, err := modulePath(root)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	fset := token.NewFileSet()
+	var diags []Finding
+	loadDiag := func(pos token.Position, format string, args ...any) {
+		diags = append(diags, Finding{Pos: pos, Analyzer: "load", Message: fmt.Sprintf(format, args...)})
+	}
 	raw := map[string]*rawPkg{} // import path -> package
 	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -107,7 +119,16 @@ func LoadModule(root string) ([]*Package, error) {
 		}
 		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return fmt.Errorf("lint: parse %s: %w", path, err)
+			if list, ok := err.(scanner.ErrorList); ok {
+				for _, e := range list {
+					loadDiag(e.Pos, "parse error: %s", e.Msg)
+				}
+			} else {
+				loadDiag(token.Position{Filename: path}, "parse error: %v", err)
+			}
+			if file == nil {
+				return nil
+			}
 		}
 		if strings.HasSuffix(file.Name.Name, "_test") {
 			return nil
@@ -137,12 +158,12 @@ func LoadModule(root string) ([]*Package, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	order, err := topoOrder(raw)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	imp := &moduleImporter{
@@ -163,10 +184,23 @@ func LoadModule(root string) ([]*Package, error) {
 			Uses:       map[*ast.Ident]types.Object{},
 			Selections: map[*ast.SelectorExpr]*types.Selection{},
 		}
-		conf := types.Config{Importer: imp}
+		conf := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				if terr, ok := err.(types.Error); ok {
+					loadDiag(terr.Fset.Position(terr.Pos), "typecheck %s: %s", ip, terr.Msg)
+				} else {
+					loadDiag(token.Position{Filename: p.dir}, "typecheck %s: %v", ip, err)
+				}
+			},
+		}
+		// With conf.Error set the checker keeps going after diagnostics,
+		// returns whatever partial package it could build, and reports the
+		// first error through err — already captured above, so only a
+		// checker that produced no package at all is fatal here.
 		tpkg, err := conf.Check(ip, fset, p.files, info)
-		if err != nil {
-			return nil, fmt.Errorf("lint: typecheck %s: %w", ip, err)
+		if tpkg == nil {
+			return nil, nil, fmt.Errorf("lint: typecheck %s: %w", ip, err)
 		}
 		imp.cache[ip] = tpkg
 		pkgs = append(pkgs, &Package{
@@ -178,7 +212,7 @@ func LoadModule(root string) ([]*Package, error) {
 			Info:       info,
 		})
 	}
-	return pkgs, nil
+	return pkgs, diags, nil
 }
 
 // topoOrder returns the packages in dependency order (imports first).

@@ -29,9 +29,12 @@ func TestLoadModuleSkipsExternalTestPackages(t *testing.T) {
 	write("a/a_ext_test.go", "package a_test\n\nimport \"example.com/m/b\"\n\nvar _ = b.B\n")
 	write("b/b.go", "package b\n\nimport \"example.com/m/a\"\n\n// B wraps a.A.\nfunc B() int { return a.A() }\n")
 
-	pkgs, err := LoadModule(root)
+	pkgs, diags, err := LoadModule(root)
 	if err != nil {
 		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("unexpected load diagnostics: %v", diags)
 	}
 	for _, p := range pkgs {
 		for _, f := range p.Files {

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LoopCaptureAnalyzer builds the concurrency-capture checker.
+//
+// Two families of bugs slip past the syntactic determinism analyzer:
+//
+//   - a `go` or `defer` func literal inside a loop that reads the loop
+//     variable. Go 1.22 gives each iteration its own copy, so this is no
+//     longer the classic aliasing bug, but the goroutine still observes a
+//     value chosen by scheduling-dependent interleaving; passing the
+//     variable as an explicit parameter keeps the data flow visible;
+//   - a callback handed to internal/par that writes to state declared
+//     outside the callback. The par contract is "disjoint slots or ordered
+//     reduction": writes to outer maps or scalars race across workers, and
+//     writes to outer slices are only safe when every index is derived
+//     inside the callback (the per-chunk disjoint-slot pattern).
+//
+// Test files are exempt; tests exercise racy shapes deliberately under
+// the race detector.
+func LoopCaptureAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "loopcapture",
+		Doc:  "flag goroutine capture of loop variables and unsynchronized writes from internal/par callbacks",
+		Run:  runLoopCapture,
+	}
+}
+
+func runLoopCapture(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		var loopVars []map[types.Object]bool // stack of enclosing loops' variables
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ForStmt:
+				vars := map[types.Object]bool{}
+				if init, ok := stmt.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+					for _, lhs := range init.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+								vars[obj] = true
+							}
+						}
+					}
+				}
+				loopVars = append(loopVars, vars)
+				ast.Inspect(stmt.Body, walk)
+				loopVars = loopVars[:len(loopVars)-1]
+				return false
+			case *ast.RangeStmt:
+				vars := map[types.Object]bool{}
+				for _, e := range []ast.Expr{stmt.Key, stmt.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+							vars[obj] = true
+						}
+					}
+				}
+				loopVars = append(loopVars, vars)
+				ast.Inspect(stmt.Body, walk)
+				loopVars = loopVars[:len(loopVars)-1]
+				return false
+			case *ast.GoStmt:
+				if lit, ok := stmt.Call.Fun.(*ast.FuncLit); ok && len(loopVars) > 0 {
+					reportLoopVarCapture(pass, lit, loopVars, "go")
+				}
+			case *ast.DeferStmt:
+				if lit, ok := stmt.Call.Fun.(*ast.FuncLit); ok && len(loopVars) > 0 {
+					reportLoopVarCapture(pass, lit, loopVars, "defer")
+				}
+			case *ast.CallExpr:
+				if isParCall(pass, stmt) {
+					for _, arg := range stmt.Args {
+						if lit, ok := arg.(*ast.FuncLit); ok {
+							checkParCallback(pass, lit)
+						}
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+}
+
+// reportLoopVarCapture flags idents inside lit that resolve to a variable
+// of any enclosing loop.
+func reportLoopVarCapture(pass *Pass, lit *ast.FuncLit, loopVars []map[types.Object]bool, kind string) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Pkg.Info.Uses[id]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		for _, vars := range loopVars {
+			if vars[obj] {
+				seen[obj] = true
+				pass.Reportf(id.Pos(),
+					"%s func literal captures loop variable %s; pass it as an explicit parameter",
+					kind, id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isParCall reports whether call invokes the deterministic-parallelism
+// layer: a function from a package whose import path ends in internal/par
+// (or is named par in fixtures), or a method on a type named Pool.
+func isParCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.Pkg.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == "Pool" {
+			return true
+		}
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		path := pkg.Path()
+		return path == "par" || strings.HasSuffix(path, "/par")
+	}
+	return false
+}
+
+// checkParCallback flags writes from the callback body to variables
+// declared outside it. Map writes and scalar writes race across workers;
+// slice-element writes are allowed only when the index is computed from
+// identifiers declared inside the callback (each worker then owns a
+// disjoint slot).
+func checkParCallback(pass *Pass, lit *ast.FuncLit) {
+	info := pass.Pkg.Info
+	declaredInside := func(id *ast.Ident) bool {
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj == nil {
+			return true // unresolvable: assume local, stay quiet
+		}
+		return obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()
+	}
+	indexLocal := func(index ast.Expr) bool {
+		local := true
+		ast.Inspect(index, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] != nil {
+				if _, isVar := info.Uses[id].(*types.Var); isVar && !declaredInside(id) {
+					local = false
+				}
+			}
+			return true
+		})
+		return local
+	}
+	checkTarget := func(expr ast.Expr) {
+		switch lhs := expr.(type) {
+		case *ast.Ident:
+			if info.Uses[lhs] != nil && !declaredInside(lhs) {
+				pass.Reportf(lhs.Pos(),
+					"par callback writes to %s declared outside the callback; workers race on it — use the chunk result or a disjoint slot",
+					lhs.Name)
+			}
+		case *ast.IndexExpr:
+			base, ok := lhs.X.(*ast.Ident)
+			if !ok || declaredInside(base) {
+				return
+			}
+			tv, ok := info.Types[lhs.X]
+			if !ok {
+				return
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(lhs.Pos(),
+					"par callback writes to shared map %s; map writes race across workers — reduce per-worker results instead",
+					base.Name)
+			case *types.Slice:
+				if !indexLocal(lhs.Index) {
+					pass.Reportf(lhs.Pos(),
+						"par callback writes to shared slice %s at an index captured from outside; derive the index inside the callback so slots stay disjoint",
+						base.Name)
+				}
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.FuncLit:
+			if stmt != lit {
+				return false // nested literals get their own contract
+			}
+		case *ast.AssignStmt:
+			if stmt.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range stmt.Lhs {
+				checkTarget(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkTarget(stmt.X)
+		}
+		return true
+	})
+}

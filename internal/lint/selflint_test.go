@@ -14,9 +14,12 @@ func TestRepoPassesOwnLinter(t *testing.T) {
 	if testing.Short() {
 		t.Skip("module-wide typecheck is slow; run without -short")
 	}
-	pkgs, err := LoadModule(".")
+	pkgs, diags, err := LoadModule(".")
 	if err != nil {
 		t.Fatalf("LoadModule: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("load diagnostic: %s", d)
 	}
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; loader is missing parts of the module", len(pkgs))

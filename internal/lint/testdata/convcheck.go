@@ -1,0 +1,40 @@
+// Fixture for the convcheck analyzer. The test loads it under a hot
+// planning-path import path (mobicol/internal/tsp) so the float32
+// truncation rule applies, and once under a cold path to pin that the
+// truncation rule stays scoped.
+package fixture
+
+// Weight is a named float64; conversions to it from float64 are changes
+// of type, not precision, and stay legal.
+type Weight float64
+
+func redundantConversions(x float64, n int, w Weight) float64 {
+	a := float64(x) // want "redundant conversion"
+	b := int(n)     // want "redundant conversion"
+	c := Weight(w)  // want "redundant conversion"
+	d := float64(n) // widening an int is a real conversion: fine
+	e := Weight(x)  // named type change: fine
+	f := float64(3) // constant conversions are how literals get typed: fine
+	_ = a
+	_ = b
+	_ = c
+	_ = e
+	return d + f
+}
+
+func lossyRoundTrips(n int, idx int64, f float64) int {
+	a := int(float64(n))     // want "lossy round-trip"
+	b := int64(float32(idx)) // want "lossy round-trip"
+	c := int(f)              // plain float-to-int is a deliberate floor: fine
+	d := float64(int(f))     // int-to-float widening inside: fine
+	_ = b
+	_ = d
+	return a + c
+}
+
+func float32Truncation(x float64, g float32) float32 {
+	a := float32(x) // want "float32 truncation"
+	b := float64(g) // widening back is lossless: fine
+	_ = b
+	return a
+}

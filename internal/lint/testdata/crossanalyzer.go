@@ -1,0 +1,61 @@
+// Fixture tripping all eight analyzers in one file. The test loads it
+// under import path mobicol/internal/sim, which puts the determinism
+// map-iteration rule, the nopanic internal/ scope, and the convcheck hot
+// planning-path scope all in force, and asserts exact finding counts and
+// ordering: one finding per analyzer, positions strictly increasing.
+package fixture
+
+import "sync"
+
+// Meters mirrors geom.Meters for the unitcheck dimension rules.
+type Meters float64
+
+// Joules mirrors energy.Joules.
+type Joules float64
+
+var hits int // globalvar
+
+func mapOrder(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m { // determinism
+		total += v
+	}
+	return total
+}
+
+func exactCompare(a, b float64) bool {
+	return a == b // floateq
+}
+
+func mustPositive(x float64) float64 {
+	if x <= 0 {
+		panic("not positive") // nopanic
+	}
+	return x
+}
+
+func fallible() error { return nil }
+
+func dropError() {
+	fallible() // errcheck
+}
+
+func mixUnits(tour Meters) Joules {
+	return Joules(tour) // unitcheck
+}
+
+func captureLoop(items []int) {
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hits += i // loopcapture
+		}()
+	}
+	wg.Wait()
+}
+
+func redundant(x float64) float64 {
+	return float64(x) // convcheck
+}

@@ -1,0 +1,68 @@
+// Fixture for the unitcheck analyzer: self-contained copies of the
+// dimensioned unit types (matching is by type name, so these stand in for
+// geom.Meters, energy.Joules, sim.Rounds, geom.MetersPerSecond).
+package fixture
+
+// Meters mirrors geom.Meters.
+type Meters float64
+
+// Joules mirrors energy.Joules.
+type Joules float64
+
+// Rounds mirrors sim.Rounds.
+type Rounds int
+
+// MetersPerSecond mirrors geom.MetersPerSecond.
+type MetersPerSecond float64
+
+// Undimensioned is a named numeric type that carries no physical unit, so
+// the analyzer must leave conversions through it alone.
+type Undimensioned float64
+
+func mixDimensions(tour Meters, battery Joules, life Rounds) Joules {
+	bad := Joules(tour)                // want "unit mix"
+	worse := Meters(battery)           // want "unit mix"
+	asTime := Rounds(tour)             // want "unit mix"
+	speedy := MetersPerSecond(battery) // want "unit mix"
+	_ = worse
+	_ = asTime
+	_ = speedy
+	_ = life
+	return bad
+}
+
+func launderDimensions(tour Meters, battery Joules, life Rounds) float64 {
+	raw := float64(tour) // want "dimension laundering"
+	var assigned float64
+	assigned = float64(battery) // want "dimension laundering"
+	n := int(life)              // want "dimension laundering"
+	f32 := float32(tour)        // want "dimension laundering"
+	_ = assigned
+	_ = n
+	_ = f32
+	return raw
+}
+
+func annotatedBoundary(tour Meters) float64 {
+	//mdglint:ignore unitcheck JSON boundary: serialized as a raw number
+	return float64(tour)
+}
+
+func allowedPromotions(raw float64, count int) (Meters, Rounds) {
+	m := Meters(raw)        // promoting a bare value adds the dimension: fine
+	r := Rounds(count)      // same for integer dimensions
+	c := Meters(2.5)        // constants carry no runtime dimension
+	scaled := m * Meters(2) // dimensionless constant factor through promotion
+	_ = c
+	return scaled, r
+}
+
+func neutralNamedTypes(u Undimensioned, tour Meters) Undimensioned {
+	// Conversions between bare numerics and unit-less named types are not
+	// the analyzer's business.
+	v := Undimensioned(float64(u))
+	w := float64(v)
+	_ = w
+	_ = tour
+	return v
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// unitDimension maps the unit-type names the codebase uses for physical
+// quantities to their dimension. Matching is by type name (with a numeric
+// underlying type) rather than by import path so the analyzer works
+// identically on the real geom/energy/sim packages and on self-contained
+// fixtures.
+func unitDimension(name string) string {
+	switch name {
+	case "Meters":
+		return "length"
+	case "MetersPerSecond":
+		return "speed"
+	case "Joules":
+		return "energy"
+	case "Rounds":
+		return "time"
+	}
+	return ""
+}
+
+// dimensionOf returns the dimension ("length", "energy", ...) of t when t
+// is one of the named unit types, and "" otherwise.
+func dimensionOf(t types.Type) (name, dim string) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	d := unitDimension(obj.Name())
+	if d == "" {
+		return "", ""
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsNumeric == 0 {
+		return "", ""
+	}
+	return obj.Name(), d
+}
+
+// isBareNumeric reports whether t is an unnamed numeric basic type
+// (float64, int, ...) — the "dimensionless" representation a unit value
+// must not silently decay to.
+func isBareNumeric(t types.Type) bool {
+	basic, ok := t.(*types.Basic)
+	return ok && basic.Info()&types.IsNumeric != 0
+}
+
+// UnitCheckAnalyzer builds the units-of-measure checker.
+//
+// The named unit types (geom.Meters, geom.MetersPerSecond, energy.Joules,
+// sim.Rounds) make cross-dimension assignment and arithmetic a compile
+// error, so the one remaining laundering vector is an explicit conversion.
+// This analyzer polices those conversions:
+//
+//   - converting one dimensioned type to a different dimension
+//     (energy.Joules(tourLength)) is always a finding — no annotation can
+//     excuse mixing metres into joules;
+//   - converting a dimensioned value to a bare numeric type
+//     (float64(tourLength)) strips the dimension and is a finding unless
+//     the line carries a //mdglint:ignore unitcheck directive naming the
+//     boundary (JSON IO, math stdlib calls, dimensional algebra);
+//   - promoting a bare numeric into a dimensioned type is always allowed:
+//     it adds information instead of destroying it.
+//
+// Test files are exempt: assertions legitimately compare raw numbers.
+func UnitCheckAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "unitcheck",
+		Doc:  "flag conversions that mix physical dimensions or launder dimensioned values through bare numerics",
+		Run:  runUnitCheck,
+	}
+}
+
+func runUnitCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			dst := tv.Type
+			argTV, ok := info.Types[call.Args[0]]
+			if !ok || argTV.Type == nil {
+				return true
+			}
+			src := argTV.Type
+			if argTV.Value != nil {
+				// Constant expressions (including untyped literals) carry
+				// no runtime dimension to launder.
+				return true
+			}
+			if isTypeParam(dst) || isTypeParam(src) {
+				// Generic code converts through type parameters whose
+				// instantiations are checked at their call sites.
+				return true
+			}
+			srcName, srcDim := dimensionOf(src)
+			dstName, dstDim := dimensionOf(dst)
+			switch {
+			case srcDim != "" && dstDim != "" && srcDim != dstDim:
+				pass.Reportf(call.Pos(),
+					"unit mix: converting %s (%s) to %s (%s); no conversion boundary can justify crossing dimensions",
+					srcName, srcDim, dstName, dstDim)
+			case srcDim != "" && dstDim == "" && isBareNumeric(dst):
+				pass.Reportf(call.Pos(),
+					"dimension laundering: %s value converted to bare %s; keep the unit type or annotate the conversion boundary",
+					srcName, dst.String())
+			}
+			return true
+		})
+	}
+}
+
+// isTypeParam reports whether t is (or dereferences to) a generic type
+// parameter.
+func isTypeParam(t types.Type) bool {
+	_, ok := t.(*types.TypeParam)
+	return ok
+}

@@ -64,7 +64,7 @@ func CyclicFeasible(plan *collector.TourPlan, demands []Demand, spec collector.S
 // MinSpeed returns the minimum collector speed making the cyclic tour
 // feasible, holding the per-sensor upload time fixed. It errors when even
 // infinite speed cannot help (the upload time alone exceeds some horizon).
-func MinSpeed(plan *collector.TourPlan, demands []Demand, uploadTime float64) (float64, error) {
+func MinSpeed(plan *collector.TourPlan, demands []Demand, uploadTime float64) (geom.MetersPerSecond, error) {
 	tight := math.Inf(1)
 	for _, d := range demands {
 		tight = math.Min(tight, d.overflowHorizon())
@@ -76,7 +76,8 @@ func MinSpeed(plan *collector.TourPlan, demands []Demand, uploadTime float64) (f
 	if uploads >= tight {
 		return 0, fmt.Errorf("schedule: upload time %.1fs alone exceeds the tightest overflow horizon %.1fs", uploads, tight)
 	}
-	return plan.Length() / (tight - uploads), nil
+	//mdglint:ignore unitcheck dimensional division boundary: metres over seconds yields a speed
+	return geom.MetersPerSecond(float64(plan.Length()) / (tight - uploads)), nil
 }
 
 // Policy selects the visiting order of a simulated run.
@@ -131,6 +132,8 @@ func Run(plan *collector.TourPlan, demands []Demand, spec collector.Spec, policy
 		return nil, fmt.Errorf("schedule: non-positive horizon")
 	}
 	n := len(plan.Stops)
+	//mdglint:ignore unitcheck kinematics boundary: the event loop below mixes speed with raw distances and times
+	v := float64(spec.Speed)
 	res := &RunResult{Policy: policy, Horizon: horizon}
 	if n == 0 {
 		return res, nil
@@ -188,11 +191,11 @@ func Run(plan *collector.TourPlan, demands []Demand, spec collector.Spec, policy
 		startNow := now
 		s := pick()
 		target := plan.Stops[s]
-		drive := pos.Dist(target) / spec.Speed
+		drive := pos.Dist(target) / v
 		arrive := now + drive
 		if arrive > horizon {
 			arrive = horizon
-			target = geom.Seg(pos, plan.Stops[s]).PointAt((horizon - now) * spec.Speed / math.Max(pos.Dist(plan.Stops[s]), 1e-12))
+			target = geom.Seg(pos, plan.Stops[s]).PointAt((horizon - now) * v / math.Max(pos.Dist(plan.Stops[s]), 1e-12))
 			// Buffers still fill while the collector is en route.
 			for v := 0; v < n; v++ {
 				advance(v, horizon)

@@ -45,10 +45,10 @@ func TestPlanCapacitatedTourShrinksWithCap(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if prev >= 0 && sol.Length > prev*1.05 {
+		if prev >= 0 && float64(sol.Length) > prev*1.05 {
 			t.Fatalf("tour grew as capacity rose to %d: %.1f -> %.1f", cap, prev, sol.Length)
 		}
-		prev = sol.Length
+		prev = float64(sol.Length)
 	}
 }
 

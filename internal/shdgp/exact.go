@@ -82,7 +82,7 @@ func PlanExact(p *Problem, limits ExactLimits) (*Solution, error) {
 	var cur []int
 	nodes := 0
 
-	tourLB := func() float64 {
+	tourLB := func() geom.Meters {
 		pts := make([]geom.Point, 0, len(cur)+1)
 		pts = append(pts, p.Net.Sink)
 		for _, c := range cur {
@@ -90,7 +90,7 @@ func PlanExact(p *Problem, limits ExactLimits) (*Solution, error) {
 		}
 		return tsp.MSTLowerBound(pts)
 	}
-	leafLen := func() float64 {
+	leafLen := func() geom.Meters {
 		pts := make([]geom.Point, 0, len(cur)+1)
 		pts = append(pts, p.Net.Sink)
 		for _, c := range cur {

@@ -95,14 +95,16 @@ func Plan(p *Problem, opts PlannerOptions) (*Solution, error) {
 	tspOpts.Obs = spTSP
 	sol := buildSolution(p, inst, chosen, tspOpts, algorithmName(opts))
 	spTSP.SetInt("stops", int64(len(chosen)))
-	spTSP.SetFloat("tour_m", sol.Length)
+	//mdglint:ignore unitcheck obs boundary: trace fields carry raw numbers
+	spTSP.SetFloat("tour_m", float64(sol.Length))
 	spTSP.End()
 
 	sol.Stats.Candidates = len(inst.Candidates)
 	sol.Stats.Universe = inst.Universe
 	sol.Stats.CoverStops = coverStops
 	root.Gauge("planner.stops", float64(len(sol.Plan.Stops)))
-	root.Gauge("planner.tour_m", sol.Length)
+	//mdglint:ignore unitcheck obs boundary: metric gauges carry raw numbers
+	root.Gauge("planner.tour_m", float64(sol.Length))
 	return sol, nil
 }
 

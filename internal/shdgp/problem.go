@@ -66,7 +66,7 @@ type Solution struct {
 	// the sensor-to-stop assignment.
 	Plan *collector.TourPlan
 	// Length is the closed tour length in metres.
-	Length float64
+	Length geom.Meters
 	// Exact is true when the solution is provably optimal.
 	Exact bool
 	// Algorithm names the planner that produced the solution.
@@ -118,7 +118,7 @@ func (s *Solution) Validate(p *Problem) error {
 	return nil
 }
 
-func almostEq(a, b float64) bool {
+func almostEq(a, b geom.Meters) bool {
 	d := a - b
 	if d < 0 {
 		d = -d

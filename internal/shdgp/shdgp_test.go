@@ -146,7 +146,7 @@ func TestSingleSensorNetwork(t *testing.T) {
 		t.Fatalf("stops = %d", sol.Stops())
 	}
 	// Out to the sensor and back: 2 * 30 (stop at the sensor site).
-	if math.Abs(sol.Length-60) > 1e-6 {
+	if math.Abs(float64(sol.Length)-60) > 1e-6 {
 		t.Fatalf("length = %v, want 60", sol.Length)
 	}
 	if err := sol.Validate(p); err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"mobicol/internal/collector"
 	"mobicol/internal/des"
+	"mobicol/internal/geom"
 	"mobicol/internal/obs"
 	"mobicol/internal/routing"
 	"mobicol/internal/wsn"
@@ -88,7 +89,7 @@ func DESMobileRoundObs(nw *wsn.Network, plan *collector.TourPlan, spec collector
 	cur := plan.Sink
 	t := 0.0
 	for sIdx, stop := range plan.Stops {
-		t += cur.Dist(stop) / spec.Speed
+		t += geom.Meters(cur.Dist(stop)).TravelTime(spec.Speed)
 		cur = stop
 		rt.PeakQueue[sIdx] = len(atStop[sIdx])
 		for k, sensor := range atStop[sIdx] {
@@ -98,7 +99,7 @@ func DESMobileRoundObs(nw *wsn.Network, plan *collector.TourPlan, spec collector
 		}
 		t += float64(len(atStop[sIdx])) * spec.UploadTime
 	}
-	t += cur.Dist(plan.Sink) / spec.Speed
+	t += geom.Meters(cur.Dist(plan.Sink)).TravelTime(spec.Speed)
 	finish := t
 	sim.At(finish, func(now float64) { rt.Finish = now })
 	if _, drained := sim.Run(0); !drained {

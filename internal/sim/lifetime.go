@@ -5,6 +5,7 @@ import (
 
 	"mobicol/internal/collector"
 	"mobicol/internal/energy"
+	"mobicol/internal/geom"
 	"mobicol/internal/obs"
 )
 
@@ -13,7 +14,7 @@ type LifetimeResult struct {
 	Scheme string
 	// Rounds is the network lifetime: gathering rounds completed before
 	// the first sensor death (== MaxRounds when nothing died).
-	Rounds int
+	Rounds Rounds
 	// Died reports whether any sensor depleted within the horizon.
 	Died bool
 	// Residual summarises the final energy distribution; Std is the
@@ -58,7 +59,7 @@ func RunLifetimeObs(scheme Scheme, n int, model energy.Model, maxRounds int, tr 
 	}
 	res := &LifetimeResult{
 		Scheme:   scheme.Name(),
-		Rounds:   rounds,
+		Rounds:   Rounds(rounds),
 		Died:     led.FirstDeath() >= 0,
 		Residual: led.ResidualStats(),
 		Ledger:   led,
@@ -74,9 +75,11 @@ func RunLifetimeObs(scheme Scheme, n int, model energy.Model, maxRounds int, tr 
 	if tr != nil {
 		// Bucket residuals on a fixed fraction-of-battery ladder so
 		// histograms from different battery sizes stay comparable.
-		h := tr.Registry().Histogram("sim.residual_j", obs.LinearBuckets(0, model.InitialJ/8, 8))
+		//mdglint:ignore unitcheck obs boundary: histogram buckets carry raw numbers
+		h := tr.Registry().Histogram("sim.residual_j", obs.LinearBuckets(0, float64(model.InitialJ)/8, 8))
 		for _, e := range led.Residual {
-			h.Observe(e)
+			//mdglint:ignore unitcheck obs boundary: histogram samples carry raw numbers
+			h.Observe(float64(e))
 		}
 	}
 	return res, nil
@@ -93,7 +96,7 @@ func boolInt(b bool) int64 {
 type LatencyResult struct {
 	Scheme  string
 	Seconds float64
-	TourM   float64
+	TourM   geom.Meters
 }
 
 // MeasureLatency evaluates one round's latency under the given collector

@@ -3,6 +3,7 @@ package sim
 import (
 	"mobicol/internal/collector"
 	"mobicol/internal/energy"
+	"mobicol/internal/geom"
 	"mobicol/internal/radio"
 	"mobicol/internal/routing"
 	"mobicol/internal/wsn"
@@ -65,7 +66,7 @@ func (m *LossyMobile) ChargeRound(led *energy.Ledger) {
 			continue
 		}
 		d := m.net.Nodes[i].Pos.Dist(m.Plan.Stops[s])
-		led.Debit(i, m.Radio.ExpectedTx(d, r)*led.Model.TxCost(d))
+		led.Debit(i, led.Model.TxCost(d).Scale(m.Radio.ExpectedTx(d, r)))
 	}
 	led.EndRound()
 }
@@ -77,7 +78,7 @@ func (m *LossyMobile) RoundTime(spec collector.Spec, relayDelay float64) float64
 }
 
 // TourLength implements Scheme.
-func (m *LossyMobile) TourLength() float64 { return m.Plan.Length() }
+func (m *LossyMobile) TourLength() geom.Meters { return m.Plan.Length() }
 
 // Coverage implements Scheme.
 func (m *LossyMobile) Coverage() float64 {
@@ -144,9 +145,9 @@ func (s *LossyStatic) ChargeRound(led *energy.Ledger) {
 		for v := i; v != routing.DirectUpload; v = s.Plan.NextHop[v] {
 			d := s.hopDist(v)
 			etx := s.Radio.ExpectedTx(d, r)
-			led.Debit(v, etx*led.Model.TxCost(d))
+			led.Debit(v, led.Model.TxCost(d).Scale(etx))
 			if next := s.Plan.NextHop[v]; next != routing.DirectUpload {
-				led.Debit(next, etx*led.Model.RxCost())
+				led.Debit(next, led.Model.RxCost().Scale(etx))
 			}
 		}
 	}
@@ -159,7 +160,7 @@ func (s *LossyStatic) RoundTime(spec collector.Spec, relayDelay float64) float64
 }
 
 // TourLength implements Scheme.
-func (s *LossyStatic) TourLength() float64 { return 0 }
+func (s *LossyStatic) TourLength() geom.Meters { return 0 }
 
 // Coverage implements Scheme.
 func (s *LossyStatic) Coverage() float64 { return s.Plan.CoverageFraction() }

@@ -35,7 +35,7 @@ func TestPerfectRadioMatchesLosslessCharging(t *testing.T) {
 	mob.ChargeRound(a)
 	ideal.ChargeRound(b)
 	for i := 0; i < nw.N(); i++ {
-		if math.Abs(a.Residual[i]-b.Residual[i]) > 1e-15 {
+		if math.Abs(float64(a.Residual[i]-b.Residual[i])) > 1e-15 {
 			t.Fatalf("perfect radio diverges from lossless at node %d", i)
 		}
 	}
@@ -78,13 +78,13 @@ func TestLossyStaticChargesReceivers(t *testing.T) {
 	// total spend must exceed a tx-only accounting.
 	spent := 0.0
 	for _, r := range led.Residual {
-		spent += smallBattery().InitialJ - r
+		spent += float64(smallBattery().InitialJ - r)
 	}
 	txOnly := 0.0
 	for i := 0; i < nw.N(); i++ {
 		if static.Plan.Connected(i) {
 			d := static.hopDist(i)
-			txOnly += static.Radio.ExpectedTx(d, nw.Range) * led.Model.TxCost(d) * float64(static.Plan.Load[i])
+			txOnly += static.Radio.ExpectedTx(d, nw.Range) * float64(led.Model.TxCost(d)) * float64(static.Plan.Load[i])
 		}
 	}
 	if spent <= txOnly {

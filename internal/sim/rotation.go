@@ -2,10 +2,10 @@ package sim
 
 import (
 	"fmt"
-	"math"
 
 	"mobicol/internal/collector"
 	"mobicol/internal/energy"
+	"mobicol/internal/geom"
 	"mobicol/internal/wsn"
 )
 
@@ -54,18 +54,20 @@ func (r *Rotation) ChargeRound(led *energy.Ledger) {
 func (r *Rotation) RoundTime(spec collector.Spec, relayDelay float64) float64 {
 	worst := 0.0
 	for _, p := range r.Plans {
-		worst = math.Max(worst, p.RoundTime(spec))
+		if rt := p.RoundTime(spec); rt > worst {
+			worst = rt
+		}
 	}
 	return worst
 }
 
 // TourLength implements Scheme (mean driving per round).
-func (r *Rotation) TourLength() float64 {
-	total := 0.0
+func (r *Rotation) TourLength() geom.Meters {
+	total := geom.Meters(0)
 	for _, p := range r.Plans {
 		total += p.Length()
 	}
-	return total / float64(len(r.Plans))
+	return total / geom.Meters(len(r.Plans))
 }
 
 // Coverage implements Scheme (every plan must serve a sensor for it to

@@ -6,11 +6,10 @@
 package sim
 
 import (
-	"math"
-
 	"mobicol/internal/baselines"
 	"mobicol/internal/collector"
 	"mobicol/internal/energy"
+	"mobicol/internal/geom"
 	"mobicol/internal/routing"
 	"mobicol/internal/wsn"
 )
@@ -25,7 +24,7 @@ type Scheme interface {
 	RoundTime(spec collector.Spec, relayDelay float64) float64
 	// TourLength returns the per-round collector driving distance
 	// (0 for the static sink).
-	TourLength() float64
+	TourLength() geom.Meters
 	// Coverage returns the fraction of sensors whose data is gathered.
 	Coverage() float64
 }
@@ -78,7 +77,7 @@ func (m *Mobile) RoundTime(spec collector.Spec, relayDelay float64) float64 {
 }
 
 // TourLength implements Scheme.
-func (m *Mobile) TourLength() float64 { return m.Plan.Length() }
+func (m *Mobile) TourLength() geom.Meters { return m.Plan.Length() }
 
 // Coverage implements Scheme.
 func (m *Mobile) Coverage() float64 {
@@ -121,14 +120,16 @@ func (m *MultiMobile) ChargeRound(led *energy.Ledger) {
 func (m *MultiMobile) RoundTime(spec collector.Spec, relayDelay float64) float64 {
 	worst := 0.0
 	for _, p := range m.Plans {
-		worst = math.Max(worst, p.RoundTime(spec))
+		if rt := p.RoundTime(spec); rt > worst {
+			worst = rt
+		}
 	}
 	return worst
 }
 
 // TourLength implements Scheme (total driving across collectors).
-func (m *MultiMobile) TourLength() float64 {
-	total := 0.0
+func (m *MultiMobile) TourLength() geom.Meters {
+	total := geom.Meters(0)
 	for _, p := range m.Plans {
 		total += p.Length()
 	}
@@ -196,7 +197,7 @@ func (s *Static) RoundTime(spec collector.Spec, relayDelay float64) float64 {
 }
 
 // TourLength implements Scheme.
-func (s *Static) TourLength() float64 { return 0 }
+func (s *Static) TourLength() geom.Meters { return 0 }
 
 // Coverage implements Scheme.
 func (s *Static) Coverage() float64 { return s.Plan.CoverageFraction() }
@@ -251,11 +252,11 @@ func (s *StraightLine) RoundTime(spec collector.Spec, relayDelay float64) float6
 			served++
 		}
 	}
-	return s.Plan.TourLength()/spec.Speed + float64(served)*spec.UploadTime + float64(maxHops)*relayDelay
+	return s.Plan.TourLength().TravelTime(spec.Speed) + float64(served)*spec.UploadTime + float64(maxHops)*relayDelay
 }
 
 // TourLength implements Scheme.
-func (s *StraightLine) TourLength() float64 { return s.Plan.TourLength() }
+func (s *StraightLine) TourLength() geom.Meters { return s.Plan.TourLength() }
 
 // Coverage implements Scheme.
 func (s *StraightLine) Coverage() float64 { return s.Plan.CoverageFraction() }

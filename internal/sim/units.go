@@ -1,0 +1,8 @@
+package sim
+
+// Rounds counts completed data-gathering rounds — the time dimension of
+// the lifetime experiments. Like geom.Meters and energy.Joules it is a
+// zero-cost named type: the compiler keeps round counts from mixing with
+// raw indices or metres, and the mdglint unitcheck analyzer keeps them
+// from laundering through bare ints outside annotated boundaries.
+type Rounds int

@@ -23,8 +23,13 @@ type Summary struct {
 // Summary. NaN samples are rejected before any statistic is computed —
 // a single NaN would otherwise poison the mean, std, and every
 // percentile — so a sample of only NaNs also yields the zero Summary.
-func Summarize(xs []float64) Summary {
-	xs = dropNaN(xs)
+//
+// The sample type is any float64-underlying type, so dimensioned
+// quantities (geom.Meters, energy.Joules) summarise without laundering
+// the dimension at every call site; the Summary itself reports raw
+// float64 aggregates for tables and JSON.
+func Summarize[F ~float64](sample []F) Summary {
+	xs := dropNaN(sample)
 	n := len(xs)
 	if n == 0 {
 		return Summary{}
@@ -76,41 +81,37 @@ func Percentile(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
-// dropNaN returns xs without NaN entries. The common all-finite case
-// returns xs unchanged without allocating.
-func dropNaN(xs []float64) []float64 {
-	for i, x := range xs {
-		if math.IsNaN(x) {
-			clean := append([]float64(nil), xs[:i]...)
-			for _, y := range xs[i+1:] {
-				if !math.IsNaN(y) {
-					clean = append(clean, y)
-				}
-			}
-			return clean
+// dropNaN converts xs to raw float64, dropping NaN entries.
+func dropNaN[F ~float64](xs []F) []float64 {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(float64(x)) {
+			clean = append(clean, float64(x))
 		}
 	}
-	return xs
+	return clean
 }
 
-// Mean returns the arithmetic mean (0 for empty).
-func Mean(xs []float64) float64 {
+// Mean returns the arithmetic mean (0 for empty). Like Summarize it is
+// generic over float64-underlying sample types and preserves the
+// dimension: the mean of metres is metres.
+func Mean[F ~float64](xs []F) F {
 	if len(xs) == 0 {
 		return 0
 	}
-	sum := 0.0
+	sum := F(0)
 	for _, x := range xs {
 		sum += x
 	}
-	return sum / float64(len(xs))
+	return sum / F(len(xs))
 }
 
-// MeanInt returns the mean of integer samples.
-func MeanInt(xs []int) float64 {
+// MeanInt returns the mean of integer samples as a raw float64.
+func MeanInt[I ~int](xs []I) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	sum := 0
+	sum := I(0)
 	for _, x := range xs {
 		sum += x
 	}

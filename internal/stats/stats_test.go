@@ -24,7 +24,7 @@ func TestSummarizeKnown(t *testing.T) {
 }
 
 func TestSummarizeEmptyAndSingleton(t *testing.T) {
-	if s := Summarize(nil); s.N != 0 {
+	if s := Summarize[float64](nil); s.N != 0 {
 		t.Fatalf("empty = %+v", s)
 	}
 	s := Summarize([]float64{7})
@@ -83,7 +83,7 @@ func TestMeanHelpers(t *testing.T) {
 	if Mean([]float64{1, 2, 3}) != 2 {
 		t.Fatal("Mean wrong")
 	}
-	if Mean(nil) != 0 || MeanInt(nil) != 0 {
+	if Mean[float64](nil) != 0 || MeanInt[int](nil) != 0 {
 		t.Fatal("empty means should be 0")
 	}
 	if MeanInt([]int{1, 2}) != 1.5 {

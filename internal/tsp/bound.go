@@ -10,19 +10,19 @@ import (
 // MSTLowerBound returns the weight of the minimum spanning tree over pts,
 // a classic lower bound on the optimal closed tour: deleting any tour edge
 // yields a spanning tree, so OPT >= MST.
-func MSTLowerBound(pts []geom.Point) float64 {
+func MSTLowerBound(pts []geom.Point) geom.Meters {
 	if len(pts) < 2 {
 		return 0
 	}
 	_, w := graph.CompleteEuclideanMST(len(pts), func(i, j int) float64 { return pts[i].Dist(pts[j]) })
-	return w
+	return geom.Meters(w)
 }
 
 // OneTreeLowerBound returns the best 1-tree bound over all choices of the
 // special vertex: MST over the other n-1 points plus that vertex's two
 // cheapest edges. The 1-tree bound dominates the plain MST bound and is
 // what the experiment tables report as "LB".
-func OneTreeLowerBound(pts []geom.Point) float64 {
+func OneTreeLowerBound(pts []geom.Point) geom.Meters {
 	n := len(pts)
 	if n < 3 {
 		return MSTLowerBound(pts)
@@ -54,5 +54,5 @@ func OneTreeLowerBound(pts []geom.Point) float64 {
 			best = b
 		}
 	}
-	return best
+	return geom.Meters(best)
 }

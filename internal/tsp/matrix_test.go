@@ -38,7 +38,7 @@ func TestSolveMatrixMatchesEuclideanQuality(t *testing.T) {
 			t.Fatal(err)
 		}
 		got := MatrixLength(m, tour)
-		want := opt.Length(pts)
+		want := float64(opt.Length(pts))
 		if got < want-1e-9 {
 			t.Fatalf("matrix tour %v beat the optimum %v: impossible", got, want)
 		}
@@ -56,7 +56,7 @@ func TestSolveMatrixAgreesWithTourLength(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(MatrixLength(m, tour)-tour.Length(pts)) > 1e-9 {
+	if math.Abs(MatrixLength(m, tour)-float64(tour.Length(pts))) > 1e-9 {
 		t.Fatal("MatrixLength disagrees with Euclidean Length on a Euclidean matrix")
 	}
 }

@@ -74,7 +74,8 @@ func Solve(pts []geom.Point, opts Options) Tour {
 			sp := opts.Obs.Child("construct")
 			sp.SetStr("method", "held-karp")
 			sp.SetInt("n", int64(n))
-			sp.SetFloat("len", t.Length(pts))
+			//mdglint:ignore unitcheck obs boundary: trace fields carry raw numbers
+			sp.SetFloat("len", float64(t.Length(pts)))
 			sp.End()
 			return t
 		}
@@ -102,7 +103,8 @@ func Solve(pts []geom.Point, opts Options) Tour {
 	if opts.Obs != nil {
 		sp.SetStr("method", opts.Construction.String())
 		sp.SetInt("n", int64(n))
-		sp.SetFloat("len", t.Length(pts))
+		//mdglint:ignore unitcheck obs boundary: trace fields carry raw numbers
+		sp.SetFloat("len", float64(t.Length(pts)))
 	}
 	sp.End()
 	// Both local searches work off the same k-nearest candidate lists;
@@ -140,8 +142,10 @@ func improvePass(pts []geom.Point, t Tour, parent *obs.Span, name, counter strin
 	moves := pass(pts, t)
 	after := t.Length(pts)
 	sp.SetInt("moves", int64(moves))
-	sp.SetFloat("delta", before-after)
-	sp.SetFloat("len", after)
+	//mdglint:ignore unitcheck obs boundary: trace fields carry raw numbers
+	sp.SetFloat("delta", float64(before-after))
+	//mdglint:ignore unitcheck obs boundary: trace fields carry raw numbers
+	sp.SetFloat("len", float64(after))
 	sp.Count(counter, int64(moves))
 	sp.End()
 }

@@ -20,7 +20,7 @@ import (
 type Tour []int
 
 // Length returns the closed tour length over pts.
-func (t Tour) Length(pts []geom.Point) float64 {
+func (t Tour) Length(pts []geom.Point) geom.Meters {
 	if len(t) < 2 {
 		return 0
 	}
@@ -29,7 +29,7 @@ func (t Tour) Length(pts []geom.Point) float64 {
 		j := (i + 1) % len(t)
 		total += pts[t[i]].Dist(pts[t[j]])
 	}
-	return total
+	return geom.Meters(total)
 }
 
 // Points materialises the tour as the visited point sequence.

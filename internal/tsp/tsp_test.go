@@ -22,7 +22,7 @@ var square4 = []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 1), geom.Pt(
 
 func TestTourLengthAndValidate(t *testing.T) {
 	tour := Tour{0, 1, 2, 3}
-	if got := tour.Length(square4); math.Abs(got-4) > 1e-12 {
+	if got := tour.Length(square4); math.Abs(float64(got)-4) > 1e-12 {
 		t.Fatalf("Length = %v", got)
 	}
 	if err := tour.Validate(4); err != nil {
@@ -44,14 +44,14 @@ func TestTourDegenerateLengths(t *testing.T) {
 		t.Fatal("degenerate tour lengths should be 0")
 	}
 	two := Tour{0, 1}
-	if got := two.Length(square4); math.Abs(got-2) > 1e-12 {
+	if got := two.Length(square4); math.Abs(float64(got)-2) > 1e-12 {
 		t.Fatalf("two-point tour length = %v (out and back)", got)
 	}
 }
 
 func TestRotateTo(t *testing.T) {
 	tour := Tour{2, 0, 3, 1}
-	before := tour.Length(square4)
+	before := float64(tour.Length(square4))
 	tour.RotateTo(3)
 	if tour[0] != 3 {
 		t.Fatalf("RotateTo: %v", tour)
@@ -59,7 +59,7 @@ func TestRotateTo(t *testing.T) {
 	if err := tour.Validate(4); err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(tour.Length(square4)-before) > 1e-12 {
+	if math.Abs(float64(tour.Length(square4))-before) > 1e-12 {
 		t.Fatal("rotation changed length")
 	}
 	tour.RotateTo(99) // absent: no-op
@@ -103,7 +103,7 @@ func TestConstructionsOnSquare(t *testing.T) {
 	for _, c := range constructions() {
 		name, build := c.name, c.build
 		tour := build(square4)
-		if got := tour.Length(square4); math.Abs(got-4) > 1e-9 {
+		if got := tour.Length(square4); math.Abs(float64(got)-4) > 1e-9 {
 			t.Fatalf("%s on unit square: length %v, want 4", name, got)
 		}
 	}
@@ -161,7 +161,7 @@ func TestTwoOptUncrossesSquare(t *testing.T) {
 	pts := square4
 	tour := Tour{0, 2, 1, 3}
 	TwoOpt(pts, tour)
-	if got := tour.Length(pts); math.Abs(got-4) > 1e-9 {
+	if got := tour.Length(pts); math.Abs(float64(got)-4) > 1e-9 {
 		t.Fatalf("2-opt left length %v, want 4", got)
 	}
 }
@@ -171,7 +171,7 @@ func TestHeldKarpKnownOptimum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := tour.Length(square4); math.Abs(got-4) > 1e-9 {
+	if got := tour.Length(square4); math.Abs(float64(got)-4) > 1e-9 {
 		t.Fatalf("HeldKarp square length %v", got)
 	}
 	if err := tour.Validate(4); err != nil {
@@ -198,7 +198,7 @@ func TestHeldKarpMatchesBruteForce(t *testing.T) {
 			t.Fatal(err)
 		}
 		want := bruteForceOpt(pts)
-		if got := hk.Length(pts); math.Abs(got-want) > 1e-6 {
+		if got := hk.Length(pts); math.Abs(float64(got)-want) > 1e-6 {
 			t.Fatalf("HeldKarp %v != brute force %v (n=%d)", got, want, n)
 		}
 	}
@@ -215,7 +215,7 @@ func bruteForceOpt(pts []geom.Point) float64 {
 	var rec func(k int)
 	rec = func(k int) {
 		if k == n {
-			if l := Tour(perm).Length(pts); l < best {
+			if l := float64(Tour(perm).Length(pts)); l < best {
 				best = l
 			}
 			return
@@ -243,7 +243,7 @@ func TestBranchBoundMatchesHeldKarp(t *testing.T) {
 		if !exact {
 			t.Fatal("uncapped branch & bound reported inexact")
 		}
-		if math.Abs(bb.Length(pts)-hk.Length(pts)) > 1e-6 {
+		if math.Abs(float64(bb.Length(pts)-hk.Length(pts))) > 1e-6 {
 			t.Fatalf("B&B %v != HeldKarp %v", bb.Length(pts), hk.Length(pts))
 		}
 	}

@@ -44,6 +44,18 @@ import (
 // Point is a planar location in metres.
 type Point = geom.Point
 
+// Meters is a dimensioned tour length or distance.
+type Meters = geom.Meters
+
+// MetersPerSecond is a dimensioned collector speed.
+type MetersPerSecond = geom.MetersPerSecond
+
+// Joules is a dimensioned energy quantity.
+type Joules = energy.Joules
+
+// Rounds is a dimensioned gathering-round count.
+type Rounds = sim.Rounds
+
 // Pt constructs a Point.
 func Pt(x, y float64) Point { return geom.Pt(x, y) }
 
@@ -333,7 +345,7 @@ func CyclicTourFeasible(plan *TourPlan, demands []StopDemand, spec CollectorSpec
 }
 
 // MinCollectorSpeed returns the slowest feasible cyclic-tour speed.
-func MinCollectorSpeed(plan *TourPlan, demands []StopDemand, uploadTime float64) (float64, error) {
+func MinCollectorSpeed(plan *TourPlan, demands []StopDemand, uploadTime float64) (MetersPerSecond, error) {
 	return schedule.MinSpeed(plan, demands, uploadTime)
 }
 

@@ -92,7 +92,7 @@ func TestMultiCollectorAPI(t *testing.T) {
 	if served != nw.N() {
 		t.Fatalf("sub-tours serve %d of %d", served, nw.N())
 	}
-	bounded, err := MinCollectors(nw, sol, sol.Length/2+300)
+	bounded, err := MinCollectors(nw, sol, float64(sol.Length)/2+300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestBaselinesAndSimulationAPI(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		lifetimes = append(lifetimes, res.Rounds)
+		lifetimes = append(lifetimes, int(res.Rounds))
 	}
 	if lifetimes[0] <= lifetimes[1] {
 		t.Fatalf("mobile lifetime %d not beyond static %d", lifetimes[0], lifetimes[1])
@@ -150,7 +150,7 @@ func TestNewNetworkExplicit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.IsNaN(sol.Length) || sol.Length <= 0 {
+	if math.IsNaN(float64(sol.Length)) || sol.Length <= 0 {
 		t.Fatalf("length %v", sol.Length)
 	}
 }
