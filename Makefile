@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint lint-json lint-fix-hints vet fmt bench check cover cover-update fuzz-smoke
+.PHONY: all build test race lint lint-json lint-fix-hints vet fmt bench check cover cover-update fuzz-smoke escape escape-update alloc-bench
 
 all: check
 
@@ -17,7 +17,9 @@ race:
 # mdglint is this repo's own static-analysis suite (cmd/mdglint):
 # determinism, float-equality, panic, discarded-error, and global-state
 # checks plus the type-aware unitcheck (units of measure), loopcapture
-# (concurrency capture), and convcheck (lossy conversion) analyzers.
+# (concurrency capture), and convcheck (lossy conversion) analyzers, and
+# the call-graph-backed alloccheck (hot-path allocation sites) and
+# parpure (par-callback purity) analyzers.
 # CI runs it; `make lint` reproduces the gate locally.
 lint:
 	$(GO) run ./cmd/mdglint ./...
@@ -55,6 +57,21 @@ cover:
 cover-update:
 	$(GO) test -cover ./... | $(GO) run ./cmd/mdgcov -ratchet COVERAGE_ratchet.txt -update
 
+# escape enforces the committed heap-escape baseline for the hot
+# packages: `go build -gcflags='-m -m'` diagnostics may not grow per
+# file. escape-update regenerates the baseline after a deliberate change.
+escape:
+	$(GO) run ./cmd/mdgescape -baseline ESCAPE_baseline.txt
+
+escape-update:
+	$(GO) run ./cmd/mdgescape -baseline ESCAPE_baseline.txt -update
+
+# alloc-bench runs the steady-state hot-path benchmarks with allocation
+# reporting; the SteadyState benchmarks must show 0 allocs/op (the test
+# suite enforces this via TestHotPathSteadyStateZeroAllocs).
+alloc-bench:
+	$(GO) test -run=^$$ -bench=SteadyState -benchmem .
+
 # fuzz-smoke runs each native fuzz target for FUZZTIME on top of the
 # committed corpora under testdata/fuzz/.
 fuzz-smoke:
@@ -62,4 +79,4 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzNetworkRead -fuzztime=$(FUZZTIME) ./internal/wsn/
 
 # check mirrors the CI pipeline end to end.
-check: build vet lint test race cover
+check: build vet lint test race cover escape

@@ -12,6 +12,9 @@ import (
 	"testing"
 
 	"mobicol/internal/bench"
+	"mobicol/internal/cover"
+	"mobicol/internal/geom"
+	"mobicol/internal/tsp"
 )
 
 func runExperiment(b *testing.B, id string, metricRow, metricCol int, unit string) {
@@ -111,3 +114,97 @@ func BenchmarkPlannerOnly(b *testing.B) {
 // BenchmarkE16Rotation regenerates E16 (plan rotation); reports the
 // rotated lifetime on the multi-plan row.
 func BenchmarkE16Rotation(b *testing.B) { runExperiment(b, "E16", 1, 1, "rounds") }
+
+// warmTSPScratch builds a 200-point instance, converges both local
+// searches into the given scratch, and returns the shared state: after
+// this, re-running either pass finds no improving move and — with the
+// scratch buffers grown — must not allocate.
+func warmTSPScratch(s *tsp.Scratch) (pts []geom.Point, tour tsp.Tour, neigh [][]int) {
+	nw := MustDeploy(DeployConfig{N: 200, FieldSide: 200, Range: 30, Seed: 1})
+	pts = nw.Positions()
+	neigh = tsp.NeighborLists(pts, 12)
+	tour = make(tsp.Tour, len(pts))
+	for i := range tour {
+		tour[i] = i
+	}
+	for s.TwoOpt(pts, tour, neigh)+s.OrOpt(pts, tour, neigh) > 0 {
+	}
+	return pts, tour, neigh
+}
+
+// BenchmarkTwoOptSteadyState pins the 2-opt pass at allocs/op == 0: on a
+// converged tour with a warmed scratch the pass is a pure scan.
+func BenchmarkTwoOptSteadyState(b *testing.B) {
+	var s tsp.Scratch
+	pts, tour, neigh := warmTSPScratch(&s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TwoOpt(pts, tour, neigh)
+	}
+}
+
+// BenchmarkOrOptSteadyState pins the Or-opt pass at allocs/op == 0 under
+// the same converged-tour, warmed-scratch regime.
+func BenchmarkOrOptSteadyState(b *testing.B) {
+	var s tsp.Scratch
+	pts, tour, neigh := warmTSPScratch(&s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.OrOpt(pts, tour, neigh)
+	}
+}
+
+// warmGreedy builds a covering instance and runs one selection so the
+// scratch buffers and the instance's lazy feasibility memo are in their
+// steady state.
+func warmGreedy(tb testing.TB, s *cover.GreedyScratch) (*cover.Instance, geom.Point) {
+	tb.Helper()
+	nw := MustDeploy(DeployConfig{N: 200, FieldSide: 200, Range: 30, Seed: 1})
+	pts := nw.Positions()
+	inst := cover.NewInstance(pts, pts, nw.Range)
+	if _, err := inst.GreedyInto(nw.Sink, nil, s); err != nil {
+		tb.Fatal(err)
+	}
+	return inst, nw.Sink
+}
+
+// BenchmarkGreedySteadyState pins the CELF greedy selection at
+// allocs/op == 0 once the scratch has grown to the instance size.
+func BenchmarkGreedySteadyState(b *testing.B) {
+	var s cover.GreedyScratch
+	inst, sink := warmGreedy(b, &s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.GreedyInto(sink, nil, &s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestHotPathSteadyStateZeroAllocs enforces what the steady-state
+// benchmarks report: the scratch-based hot passes must not allocate once
+// their buffers have grown. A regression here means a heap allocation
+// crept back into a planning inner loop.
+func TestHotPathSteadyStateZeroAllocs(t *testing.T) {
+	var ts tsp.Scratch
+	pts, tour, neigh := warmTSPScratch(&ts)
+	if n := testing.AllocsPerRun(20, func() { ts.TwoOpt(pts, tour, neigh) }); n != 0 {
+		t.Errorf("Scratch.TwoOpt steady state allocates %.1f objects/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() { ts.OrOpt(pts, tour, neigh) }); n != 0 {
+		t.Errorf("Scratch.OrOpt steady state allocates %.1f objects/op, want 0", n)
+	}
+
+	var gs cover.GreedyScratch
+	inst, sink := warmGreedy(t, &gs)
+	if n := testing.AllocsPerRun(20, func() {
+		if _, err := inst.GreedyInto(sink, nil, &gs); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("Instance.GreedyInto steady state allocates %.1f objects/op, want 0", n)
+	}
+}

@@ -1,0 +1,134 @@
+package mobicol
+
+// End-to-end test of the mdgescape escape-diagnostic ratchet against a
+// throwaway module: create the baseline, verify a clean compare, inject
+// a function that forces a new heap escape, and check the gate trips.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runEscape runs the built mdgescape binary with the working directory
+// set to dir (the tool invokes `go build` relative to its cwd).
+func runEscape(t *testing.T, dir string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	bin := filepath.Join(buildCLIs(t), "mdgescape")
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &outBuf, &errBuf
+	err := cmd.Run()
+	code = 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("mdgescape %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return outBuf.String(), errBuf.String(), code
+}
+
+// writeEscapeModule lays down a single-package module with two known
+// escapes (a composite literal and a make, both returned to the caller).
+func writeEscapeModule(t *testing.T) (dir, srcPath string) {
+	t.Helper()
+	dir = t.TempDir()
+	gomod := "module example.com/esc\n\ngo 1.21\n"
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "p"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package p
+
+type Buf struct{ xs []int }
+
+// NewBuf's literal and make both escape: the pointer is returned.
+func NewBuf(n int) *Buf {
+	return &Buf{xs: make([]int, n)}
+}
+`
+	srcPath = filepath.Join(dir, "p", "p.go")
+	if err := os.WriteFile(srcPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir, srcPath
+}
+
+func TestCLIEscapeRatchet(t *testing.T) {
+	dir, srcPath := writeEscapeModule(t)
+	baseline := filepath.Join(dir, "baseline.txt")
+
+	// Create the baseline from the initial module.
+	out, errOut, code := runEscape(t, dir, "-baseline", baseline, "-update", "./p")
+	if code != 0 {
+		t.Fatalf("-update exited %d\nstderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("-update output missing confirmation: %q", out)
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	if !strings.Contains(string(data), "example.com/esc/p p.go escapes-to-heap") {
+		t.Fatalf("baseline missing the known escapes:\n%s", data)
+	}
+
+	// Clean compare holds.
+	out, errOut, code = runEscape(t, dir, "-baseline", baseline, "./p")
+	if code != 0 {
+		t.Fatalf("clean compare exited %d\nstderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "hold against the baseline") {
+		t.Fatalf("clean compare output missing hold message: %q", out)
+	}
+
+	// Inject a regression: a named local forced to the heap.
+	leak := `
+// Leak forces x to the heap: the returned pointer outlives the frame.
+func Leak() *int {
+	x := 3
+	return &x
+}
+`
+	f, err := os.OpenFile(srcPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(leak); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, errOut, code = runEscape(t, dir, "-baseline", baseline, "./p")
+	if code != 1 {
+		t.Fatalf("regressed compare exited %d, want 1\nstderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "p.go") || !strings.Contains(errOut, "moved-to-heap") {
+		t.Fatalf("regression diagnostics must cite the file and kind:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "above the escape baseline") {
+		t.Fatalf("regression summary line missing:\n%s", errOut)
+	}
+}
+
+func TestCLIEscapeMissingBaseline(t *testing.T) {
+	dir, _ := writeEscapeModule(t)
+	_, errOut, code := runEscape(t, dir, "-baseline", filepath.Join(dir, "nope.txt"), "./p")
+	if code != 2 {
+		t.Fatalf("missing baseline exited %d, want 2\nstderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "mdgescape:") {
+		t.Fatalf("operational error must be reported on stderr:\n%s", errOut)
+	}
+}

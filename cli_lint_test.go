@@ -134,6 +134,94 @@ func TestLintCLITextMatchesJSON(t *testing.T) {
 	}
 }
 
+// TestLintCLIJSONInterprocedural drives the two call-graph-backed
+// analyzers end to end: alloccheck must flag an allocation inside a
+// //mdglint:hotpath root, and parpure must flag a named callee of a par
+// callback that writes package-level state — each at the offending line.
+func TestLintCLIJSONInterprocedural(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/hotmod\n\ngo 1.22\n")
+	// The "/par" path suffix is what isParCall keys on, so a fixture
+	// module can carry its own stand-in for internal/par.
+	write("par/par.go", `package par
+
+func ForEach(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+`)
+	write("pkg/p.go", `package pkg
+
+import "example.com/hotmod/par"
+
+var total int
+
+func bump(i int) {
+	total += i
+}
+
+//mdglint:hotpath
+func Hot(n int) []int {
+	return make([]int, n)
+}
+
+func Sum(n int) {
+	par.ForEach(n, func(i int) {
+		bump(i)
+	})
+}
+`)
+
+	out, code := runLintCLI(t, dir, "-json")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings present)\noutput: %s", code, out)
+	}
+	type finding struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	byAnalyzer := map[string][]finding{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var f finding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line is not valid JSON: %q: %v", line, err)
+		}
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], f)
+	}
+
+	allocs := byAnalyzer["alloccheck"]
+	if len(allocs) != 1 || allocs[0].Line != 13 {
+		t.Errorf("alloccheck findings = %+v, want exactly one at pkg/p.go:13 (the make in the hotpath root)", allocs)
+	}
+	if len(allocs) == 1 && !strings.Contains(allocs[0].Message, "make allocates") {
+		t.Errorf("alloccheck message = %q, want a make-allocates diagnostic", allocs[0].Message)
+	}
+	pures := byAnalyzer["parpure"]
+	if len(pures) != 1 || pures[0].Line != 8 {
+		t.Errorf("parpure findings = %+v, want exactly one at pkg/p.go:8 (the shared write in bump)", pures)
+	}
+	if len(pures) == 1 && !strings.Contains(pures[0].Message, "package-level total") {
+		t.Errorf("parpure message = %q, want it to name the raced variable", pures[0].Message)
+	}
+	for _, f := range append(allocs, pures...) {
+		if !strings.HasSuffix(f.File, filepath.Join("pkg", "p.go")) {
+			t.Errorf("finding file %q does not end in pkg/p.go", f.File)
+		}
+	}
+}
+
 // TestLintCLIJSONLoadDiagnostics pins that type errors surface through
 // -json as "load" findings and still fail the gate.
 func TestLintCLIJSONLoadDiagnostics(t *testing.T) {

@@ -1,0 +1,126 @@
+// Command mdgescape enforces the escape-diagnostic ratchet: it builds the
+// hot packages with `go build -gcflags='-m -m'`, parses the compiler's
+// escape diagnostics into (package, file, line, kind) records, and
+// compares the per-file counts against the committed baseline. The lint
+// engine's alloccheck flags allocation sites syntactically; mdgescape
+// pins what the compiler actually decided, so a refactor that silently
+// turns a stack allocation into a heap escape fails CI even when no
+// flagged site changed.
+//
+// Usage:
+//
+//	mdgescape -baseline ESCAPE_baseline.txt [packages]
+//	mdgescape -baseline ESCAPE_baseline.txt -update [packages]
+//
+// Without package arguments the planner hot packages are checked. The
+// tool exits 0 when the baseline holds, 1 when any file gained escapes,
+// and 2 on operational errors (build failure, unreadable baseline).
+// Escape diagnostics replay from the build cache, so repeat runs are
+// cheap.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"mobicol/internal/check"
+)
+
+// hotPackages is the default analysis set: the planning hot path plus
+// the data structures it leans on.
+//
+//mdglint:ignore globalvar write-once default package list read only by main; a const slice is not expressible in Go
+var hotPackages = []string{
+	"./internal/tsp",
+	"./internal/cover",
+	"./internal/shdgp",
+	"./internal/par",
+	"./internal/bitset",
+	"./internal/geom",
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "ESCAPE_baseline.txt", "committed escape-count baseline file")
+		update       = flag.Bool("update", false, "regenerate the baseline from the measured diagnostics instead of comparing")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mdgescape [-baseline file] [-update] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Ratchets `go build -gcflags='-m -m'` escape diagnostics for the hot packages.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = hotPackages
+	}
+
+	recs, err := measure(pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdgescape:", err)
+		os.Exit(2)
+	}
+
+	if *update {
+		if err := writeBaseline(*baselinePath, recs); err != nil {
+			fmt.Fprintln(os.Stderr, "mdgescape:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("mdgescape: wrote %d escape record(s) across %d package(s) to %s\n",
+			len(recs), len(pkgs), *baselinePath)
+		return
+	}
+
+	f, err := os.Open(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdgescape:", err)
+		os.Exit(2)
+	}
+	//mdglint:ignore errcheck input file is read-only; a close failure cannot lose data
+	defer f.Close()
+	baseline, err := check.ReadEscapeBaseline(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdgescape:", err)
+		os.Exit(2)
+	}
+	if bad := check.CompareEscapes(recs, baseline); len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Fprintf(os.Stderr, "mdgescape: %s\n", b)
+		}
+		fmt.Fprintf(os.Stderr, "mdgescape: %d file(s) above the escape baseline\n", len(bad))
+		os.Exit(1)
+	}
+	fmt.Printf("mdgescape: %d escape record(s) hold against the baseline\n", len(recs))
+}
+
+// measure builds pkgs with escape diagnostics enabled and parses the
+// compiler output. The -gcflags value applies only to the packages named
+// on the command line, so dependencies stay quiet.
+func measure(pkgs []string) ([]check.EscapeRecord, error) {
+	args := append([]string{"build", "-gcflags=-m -m"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	var out bytes.Buffer
+	cmd.Stderr = &out
+	cmd.Stdout = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build failed: %v\n%s", err, out.String())
+	}
+	return check.ParseEscapes(&out)
+}
+
+func writeBaseline(path string, recs []check.EscapeRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := check.WriteEscapeBaseline(f, check.CountEscapes(recs)); err != nil {
+		_ = f.Close() // already failing; the write error is the one to report
+		return err
+	}
+	// Close errors on the output file are real data loss: report them.
+	return f.Close()
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 
 	"mobicol/internal/baselines"
 	"mobicol/internal/geom"
@@ -28,6 +29,14 @@ type PlannerAlgoBench struct {
 	// Spans is the number of spans recorded per name (trial count for
 	// top-level phases; higher for per-pass spans like "twoopt").
 	Spans map[string]int `json:"spans"`
+	// AllocsPerOp and BytesPerOp are the mean heap allocation count and
+	// bytes per full planning run (deployment included), measured
+	// sequentially from runtime.MemStats deltas after one warmup run.
+	// Machine-dependent like PhaseNs; the enforced allocation gates are
+	// the escape baseline (cmd/mdgescape) and the zero-alloc
+	// steady-state benchmarks, not these fields.
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
 }
 
 // PlannerBenchResult is the schema of BENCH_planner.json: per-algorithm
@@ -145,9 +154,40 @@ func PlannerBenchmarks(cfg Config) (*PlannerBenchResult, error) {
 			row.PhaseNs[st.Name] = st.TotalNs
 			row.Spans[st.Name] = st.Count
 		}
+		allocs, bytesPer, err := measureAllocs(a.plan, cfg.Seed, cfg.trials())
+		if err != nil {
+			return nil, fmt.Errorf("bench: planner %s allocs: %w", a.name, err)
+		}
+		row.AllocsPerOp, row.BytesPerOp = allocs, bytesPer
 		res.Algos = append(res.Algos, row)
 	}
 	return res, nil
+}
+
+// measureAllocs reports the mean heap allocation count and bytes per
+// planning run, measured sequentially over ops runs after one warmup
+// (so lazy package state and scratch growth do not bill the steady
+// state). The quality fields never come from this pass — it exists only
+// to populate the allocs_per_op/bytes_per_op columns.
+func measureAllocs(plan func(tr *obs.Trace, seed uint64) (geom.Meters, int, error), seed uint64, ops int) (allocsPerOp, bytesPerOp uint64, err error) {
+	tr := obs.New(nil)
+	if _, _, err = plan(tr, seed); err != nil {
+		return 0, 0, err
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < ops; i++ {
+		if _, _, err = plan(tr, seed+uint64(i)); err != nil {
+			return 0, 0, err
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	if err = tr.Close(); err != nil {
+		return 0, 0, err
+	}
+	n := uint64(ops)
+	return (m1.Mallocs - m0.Mallocs) / n, (m1.TotalAlloc - m0.TotalAlloc) / n, nil
 }
 
 // WritePlannerBench runs PlannerBenchmarks and writes the result as

@@ -1,0 +1,207 @@
+package check
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// canned `go build -gcflags='-m -m'` output: inlining chatter, doubled
+// escape lines with flow explanations, a does-not-escape line, and two
+// package headers.
+const escapeOutput = `# example.com/m/p
+p/a.go:10:6: cannot inline F: function too complex: cost 200 exceeds budget 80
+p/a.go:12:14: make([]int, n) escapes to heap:
+p/a.go:12:14:   flow: ~r0 = &{storage for make([]int, n)}:
+p/a.go:12:14: make([]int, n) escapes to heap
+p/a.go:20:2: moved to heap: x
+p/b.go:5:9: leaking param: xs
+p/b.go:7:3: func literal does not escape
+# example.com/m/q
+q/c.go:3:14: make([]byte, 8) escapes to heap
+`
+
+func TestParseEscapes(t *testing.T) {
+	recs, err := ParseEscapes(strings.NewReader(escapeOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []EscapeRecord{
+		{Pkg: "example.com/m/p", File: "a.go", Line: 12, Kind: KindEscapes},
+		{Pkg: "example.com/m/p", File: "a.go", Line: 20, Kind: KindMoved},
+		{Pkg: "example.com/m/q", File: "c.go", Line: 3, Kind: KindEscapes},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d: %v", len(recs), len(want), recs)
+	}
+	for i, w := range want {
+		if recs[i] != w {
+			t.Errorf("record %d = %v, want %v", i, recs[i], w)
+		}
+	}
+}
+
+// TestParseEscapesDedupsDoubledDiagnostics pins that the `-m -m` habit of
+// printing each site twice (with and without the flow-explanation colon)
+// yields one record, while distinct columns on the same line stay apart.
+func TestParseEscapesDedupsDoubledDiagnostics(t *testing.T) {
+	const out = `# p
+a.go:5:10: make([]int, 4) escapes to heap:
+a.go:5:10: make([]int, 4) escapes to heap
+a.go:5:30: make([]int, 8) escapes to heap
+`
+	recs, err := ParseEscapes(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2 (dedup same column, keep distinct): %v", len(recs), recs)
+	}
+}
+
+func TestEscapeRecordString(t *testing.T) {
+	r := EscapeRecord{Pkg: "m/p", File: "a.go", Line: 12, Kind: KindEscapes}
+	if got := r.String(); got != "m/p/a.go:12 escapes-to-heap" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// TestParseEscapesIgnoresMalformedPositions pins that lines matching the
+// kind phrases but lacking a parsable "file.go:line:col:" prefix — flow
+// continuations, truncated positions, non-numeric fields — are skipped
+// rather than producing bogus records.
+func TestParseEscapesIgnoresMalformedPositions(t *testing.T) {
+	const out = `# p
+no position here but escapes to heap
+a.txt:5:1: v escapes to heap
+a.go:x:1: v escapes to heap
+a.go:5:y: v escapes to heap
+a.go:0:1: v escapes to heap
+a.go:5:0: v escapes to heap
+a.go:5: v escapes to heap
+`
+	recs, err := ParseEscapes(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("malformed positions produced records: %v", recs)
+	}
+}
+
+// failAfter errors once more than limit bytes have been written — used
+// to drive every write-error branch of the baseline writer.
+type failAfter struct {
+	limit   int
+	written int
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.limit {
+		return 0, errWriterFull
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+var errWriterFull = errFull{}
+
+type errFull struct{}
+
+func (errFull) Error() string { return "writer full" }
+
+func TestWriteEscapeBaselineWriteErrors(t *testing.T) {
+	counts := map[EscapeKey]int{
+		{Pkg: "p", File: "a.go", Kind: KindEscapes}: 1,
+	}
+	var full bytes.Buffer
+	if err := WriteEscapeBaseline(&full, counts); err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation point must surface the writer's error, whichever
+	// of the comment or record writes it lands in.
+	for limit := 0; limit < full.Len(); limit++ {
+		if err := WriteEscapeBaseline(&failAfter{limit: limit}, counts); err == nil {
+			t.Fatalf("limit %d: write error swallowed", limit)
+		}
+	}
+}
+
+func TestEscapeBaselineRoundTrip(t *testing.T) {
+	recs, err := ParseEscapes(strings.NewReader(escapeOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := CountEscapes(recs)
+	var buf bytes.Buffer
+	if err := WriteEscapeBaseline(&buf, counts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEscapeBaseline(&buf)
+	if err != nil {
+		t.Fatalf("re-reading written baseline: %v", err)
+	}
+	if len(back) != len(counts) {
+		t.Fatalf("round trip lost keys: wrote %d, read %d", len(counts), len(back))
+	}
+	for k, v := range counts {
+		if back[k] != v {
+			t.Errorf("key %v: wrote %d, read %d", k, v, back[k])
+		}
+	}
+}
+
+func TestReadEscapeBaselineRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"pkg file.go escapes-to-heap not-a-number\n",
+		"pkg file.go mystery-kind 3\n",
+		"too few fields\n",
+	} {
+		if _, err := ReadEscapeBaseline(strings.NewReader(bad)); err == nil {
+			t.Errorf("baseline %q parsed without error", bad)
+		}
+	}
+}
+
+func TestCompareEscapes(t *testing.T) {
+	recs := []EscapeRecord{
+		{Pkg: "p", File: "a.go", Line: 12, Kind: KindEscapes},
+		{Pkg: "p", File: "a.go", Line: 30, Kind: KindEscapes},
+		{Pkg: "p", File: "b.go", Line: 4, Kind: KindMoved},
+	}
+	baseline := CountEscapes(recs)
+
+	// Identical measurement holds.
+	if bad := CompareEscapes(recs, baseline); len(bad) != 0 {
+		t.Fatalf("identical records must hold: %v", bad)
+	}
+	// Fewer escapes than baseline also holds (ratchet down on -update).
+	if bad := CompareEscapes(recs[:1], baseline); len(bad) != 0 {
+		t.Fatalf("improvement must hold: %v", bad)
+	}
+	// Pure line shifts hold: same file, same kind, same count.
+	shifted := []EscapeRecord{
+		{Pkg: "p", File: "a.go", Line: 112, Kind: KindEscapes},
+		{Pkg: "p", File: "a.go", Line: 130, Kind: KindEscapes},
+		{Pkg: "p", File: "b.go", Line: 104, Kind: KindMoved},
+	}
+	if bad := CompareEscapes(shifted, baseline); len(bad) != 0 {
+		t.Fatalf("line shifts must hold: %v", bad)
+	}
+	// One extra escape in a known file regresses, citing the lines.
+	grown := append(append([]EscapeRecord(nil), recs...),
+		EscapeRecord{Pkg: "p", File: "a.go", Line: 50, Kind: KindEscapes})
+	bad := CompareEscapes(grown, baseline)
+	if len(bad) != 1 {
+		t.Fatalf("want exactly 1 regression, got %v", bad)
+	}
+	if !strings.Contains(bad[0], "a.go") || !strings.Contains(bad[0], "50") {
+		t.Errorf("regression message must cite the file and lines: %s", bad[0])
+	}
+	// A file the baseline has never seen regresses too.
+	novel := append(append([]EscapeRecord(nil), recs...),
+		EscapeRecord{Pkg: "p", File: "new.go", Line: 1, Kind: KindMoved})
+	if bad := CompareEscapes(novel, baseline); len(bad) != 1 || !strings.Contains(bad[0], "new.go") {
+		t.Fatalf("novel file must regress: %v", bad)
+	}
+}

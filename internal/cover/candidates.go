@@ -37,6 +37,7 @@ func (cs CandidateStrategy) String() string {
 	case Intersections:
 		return "intersections"
 	default:
+		//mdglint:allow-alloc(diagnostic fallback for an unknown enum value; never hit with valid strategies)
 		return fmt.Sprintf("CandidateStrategy(%d)", int(cs))
 	}
 }

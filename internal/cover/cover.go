@@ -28,6 +28,12 @@ type Instance struct {
 	// err records an invalid construction (mismatched radii, non-positive
 	// range); Err and every solving method surface it.
 	err error
+
+	// uncoverable() is pure in the instance; memoize it so the repeated
+	// feasibility checks on the planning hot path cost three bitset
+	// allocations once instead of per call.
+	uncovOnce bool
+	uncovIdx  int
 }
 
 // NewInstance builds the covering instance for the given sensors,
@@ -86,6 +92,7 @@ func NewInstanceRadiiPool(sensors []geom.Point, radii []float64, candidates []ge
 	// slots of sets; the grid index is read-only and safe to share.
 	sets := make([]*bitset.Set, len(candidates))
 	pool.ForChunks(len(candidates), func(lo, hi int) {
+		//mdglint:allow-alloc(one query buffer per worker chunk, reused across its candidates)
 		buf := make([]int, 0, 64)
 		for ci := lo; ci < hi; ci++ {
 			c := candidates[ci]
@@ -94,6 +101,7 @@ func NewInstanceRadiiPool(sensors []geom.Point, radii []float64, candidates []ge
 			for _, s := range buf {
 				if sensors[s].Dist2(c) <= radii[s]*radii[s]+geom.Eps {
 					if set == nil {
+						//mdglint:allow-alloc(cover sets outlive the chunk — they are the instance being built)
 						set = bitset.New(len(sensors))
 					}
 					set.Add(s)
@@ -120,6 +128,18 @@ func NewInstanceRadiiPool(sensors []geom.Point, radii []float64, candidates []ge
 func (in *Instance) Feasible() bool { return in.uncoverable() < 0 }
 
 func (in *Instance) uncoverable() int {
+	if !in.uncovOnce {
+		in.uncovIdx = in.computeUncoverable()
+		in.uncovOnce = true
+	}
+	return in.uncovIdx
+}
+
+// computeUncoverable does the actual union scan. It runs at most once per
+// instance via the uncoverable() memo.
+//
+//mdglint:allow-alloc(feasibility scan runs once per instance; every hot-path call hits the memo)
+func (in *Instance) computeUncoverable() int {
 	all := bitset.New(in.Universe)
 	for _, c := range in.Covers {
 		all.Or(c)
@@ -141,6 +161,7 @@ func (in *Instance) Err() error {
 		return in.err
 	}
 	if s := in.uncoverable(); s >= 0 {
+		//mdglint:allow-alloc(infeasible-instance error path; never taken on a planning run that proceeds)
 		return fmt.Errorf("cover: sensor %d is outside the range of every candidate", s)
 	}
 	return nil
@@ -169,23 +190,62 @@ func (in *Instance) Greedy(tieBreak geom.Point) ([]int, error) {
 // heap instead of rescanning every candidate. The pick sequence is
 // provably identical to the naive full-scan greedy.
 func (in *Instance) GreedyObs(tieBreak geom.Point, sp *obs.Span) ([]int, error) {
+	var s GreedyScratch
+	picks, err := in.GreedyInto(tieBreak, sp, &s)
+	if err != nil {
+		return nil, err
+	}
+	// GreedyInto lends the scratch's selection buffer; callers of the
+	// public API own their result.
+	//mdglint:allow-alloc(result handed to the caller must outlive the scratch)
+	return append([]int(nil), picks...), nil
+}
+
+// GreedyScratch holds the reusable state of a CELF greedy selection:
+// the uncovered set, the lazy-gain heap, and the selection buffer. A
+// zero value is ready; reusing one across selections keeps the greedy
+// inner loop allocation-free once the buffers have grown.
+type GreedyScratch struct {
+	uncovered *bitset.Set
+	h         celfHeap
+	chosen    []int
+}
+
+//mdglint:allow-alloc(scratch growth is amortized; steady state reuses the retained buffers)
+func (s *GreedyScratch) ensure(universe, candidates int) {
+	if s.uncovered == nil || s.uncovered.Len() != universe {
+		s.uncovered = bitset.New(universe)
+	}
+	if cap(s.h) < candidates {
+		s.h = make(celfHeap, candidates)
+	}
+	s.h = s.h[:candidates]
+	s.chosen = s.chosen[:0]
+}
+
+// GreedyInto is GreedyObs running entirely in the caller's scratch. The
+// returned slice aliases the scratch's selection buffer and is only
+// valid until the next call with the same scratch.
+//
+//mdglint:hotpath
+func (in *Instance) GreedyInto(tieBreak geom.Point, sp *obs.Span, s *GreedyScratch) ([]int, error) {
 	if err := in.Err(); err != nil {
 		return nil, err
 	}
 	sp.SetInt("candidates", int64(len(in.Candidates)))
 	sp.SetInt("universe", int64(in.Universe))
-	uncovered := bitset.New(in.Universe)
+	s.ensure(in.Universe, len(in.Covers))
+	uncovered := s.uncovered
 	uncovered.Fill()
 
 	// Round 0: every candidate's gain against the full universe is just its
 	// cover size — no popcount against uncovered needed.
-	h := make(celfHeap, len(in.Covers))
+	h := s.h
 	for c, set := range in.Covers {
 		h[c] = celfEntry{cand: c, gain: set.Count(), dist: in.Candidates[c].Dist2(tieBreak)}
 	}
 	h.init()
 
-	var chosen []int
 	reevals := int64(0)
 	for round := 0; uncovered.Count() > 0; round++ {
 		// Pop until the top entry's gain is fresh for this round. Gains
@@ -199,17 +259,19 @@ func (in *Instance) GreedyObs(tieBreak geom.Point, sp *obs.Span) ([]int, error) 
 		}
 		if len(h) == 0 || h[0].gain == 0 {
 			// Unreachable given the feasibility pre-check, but guard anyway.
+			//mdglint:allow-alloc(defensive error path; unreachable after the feasibility pre-check)
 			return nil, fmt.Errorf("cover: greedy stalled with %d sensors uncovered", uncovered.Count())
 		}
 		best := h.popTop()
-		chosen = append(chosen, best.cand)
+		//mdglint:allow-alloc(append reuses selection capacity retained in the scratch)
+		s.chosen = append(s.chosen, best.cand)
 		uncovered.AndNot(in.Covers[best.cand])
 		sp.Count("cover.greedy_iters", 1)
 		sp.Observe("cover.gain", float64(best.gain))
 	}
 	sp.Count("cover.celf_reevals", reevals)
-	sp.SetInt("chosen", int64(len(chosen)))
-	return chosen, nil
+	sp.SetInt("chosen", int64(len(s.chosen)))
+	return s.chosen, nil
 }
 
 // Covered returns the union of the covers of the chosen candidates.

@@ -13,6 +13,8 @@ import (
 // maxNodes caps the search (0 = unlimited); when it trips, the best cover
 // found so far is returned with exact=false. Instances the paper solves
 // with CPLEX are tiny (tens of sensors), where this search is instant.
+//
+//mdglint:allow-alloc(exact search is the small-instance certification path, not the planning hot loop)
 func (in *Instance) ExactMin(maxNodes int) (chosen []int, exact bool, err error) {
 	if err := in.Err(); err != nil {
 		return nil, false, err

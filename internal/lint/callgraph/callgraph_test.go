@@ -1,0 +1,232 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// buildFrom type-checks one in-memory file and builds its call graph.
+func buildFrom(t *testing.T, src string) (*Graph, *Pkg) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	if _, err := (&types.Config{}).Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	pkg := &Pkg{Path: "p", Fset: fset, Files: []*ast.File{file}, Info: info}
+	return Build([]Pkg{*pkg}), pkg
+}
+
+// node finds a graph node by display-name substring.
+func node(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if strings.Contains(n.Name, name) {
+			return n
+		}
+	}
+	t.Fatalf("no node matching %q in %v", name, g.Nodes())
+	return nil
+}
+
+// calls reports whether from has a direct edge to a node matching name.
+func calls(from *Node, name string) bool {
+	for _, c := range from.Calls() {
+		if strings.Contains(c.Name, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStaticCallEdges(t *testing.T) {
+	g, _ := buildFrom(t, `package p
+
+func a() { b(); c(3) }
+func b() {}
+func c(int) {}
+func unrelated() {}
+`)
+	na := node(t, g, "p.a")
+	if !calls(na, "p.b") || !calls(na, "p.c") {
+		t.Errorf("a must call b and c; edges: %v", na.Calls())
+	}
+	if calls(na, "unrelated") {
+		t.Errorf("spurious edge a -> unrelated")
+	}
+}
+
+func TestMethodCallEdges(t *testing.T) {
+	g, _ := buildFrom(t, `package p
+
+type T struct{ n int }
+
+func (t *T) M() int { return t.helper() }
+func (t *T) helper() int { return t.n }
+
+func use(t *T) int { return t.M() }
+`)
+	if !calls(node(t, g, "(*T).M"), "helper") {
+		t.Error("method body edge M -> helper missing")
+	}
+	if !calls(node(t, g, "p.use"), "(*T).M") {
+		t.Error("concrete method call edge use -> M missing")
+	}
+}
+
+func TestInterfaceDispatchCHA(t *testing.T) {
+	g, _ := buildFrom(t, `package p
+
+type runner interface{ Run() }
+
+type fast struct{}
+func (fast) Run() {}
+
+type slow struct{}
+func (*slow) Run() {}
+
+type bystander struct{}
+func (bystander) Walk() {}
+
+func dispatch(r runner) { r.Run() }
+`)
+	nd := node(t, g, "dispatch")
+	if !calls(nd, "(fast).Run") {
+		t.Errorf("CHA edge dispatch -> fast.Run missing; edges: %v", nd.Calls())
+	}
+	if !calls(nd, "(*slow).Run") {
+		t.Errorf("CHA edge dispatch -> (*slow).Run missing; edges: %v", nd.Calls())
+	}
+	if calls(nd, "bystander") {
+		t.Error("spurious CHA edge to a non-implementer")
+	}
+}
+
+func TestFunctionValueResolution(t *testing.T) {
+	g, _ := buildFrom(t, `package p
+
+func apply(f func(int) int, x int) int { return f(x) }
+
+func double(x int) int { return 2 * x }
+func negate(x int) int { return -x }
+func otherShape(x, y int) int { return x + y }
+
+func use() int { return apply(double, 1) + apply(negate, 2) }
+`)
+	na := node(t, g, "apply")
+	if !calls(na, "double") || !calls(na, "negate") {
+		t.Errorf("indirect call must resolve to the address-taken matches; edges: %v", na.Calls())
+	}
+	if calls(na, "otherShape") {
+		t.Error("indirect resolution matched a different signature")
+	}
+}
+
+func TestClosureCreationEdgeAndReachability(t *testing.T) {
+	g, _ := buildFrom(t, `package p
+
+func spawn(fn func()) { fn() }
+
+func parent() {
+	n := 0
+	spawn(func() { n++; leaf() })
+}
+
+func leaf() {}
+func island() {}
+`)
+	np := node(t, g, "parent")
+	if !calls(np, "func@") {
+		t.Errorf("creation edge parent -> literal missing; edges: %v", np.Calls())
+	}
+	reach := g.Reachable([]*Node{np}, nil)
+	if !reach[node(t, g, "leaf")] {
+		t.Error("leaf must be reachable from parent through the closure")
+	}
+	if reach[node(t, g, "island")] {
+		t.Error("island must not be reachable")
+	}
+}
+
+// TestIndirectReachabilityGatedOnActivation pins the RTA refinement:
+// signature-matched edges contribute to reachability only when some
+// function taking the target's address is itself reachable.
+func TestIndirectReachabilityGatedOnActivation(t *testing.T) {
+	g, _ := buildFrom(t, `package p
+
+func invoke(f func(int) int, x int) int { return f(x) }
+
+func hotUse() int { return invoke(double, 1) }
+func coldUse() int { return invoke(negate, 2) }
+
+func double(x int) int { return 2 * x }
+func negate(x int) int { return -x }
+`)
+	ni := node(t, g, "invoke")
+	if !calls(ni, "double") || !calls(ni, "negate") {
+		t.Fatalf("edges must over-approximate to both targets; got %v", ni.Calls())
+	}
+	reach := g.Reachable([]*Node{node(t, g, "hotUse")}, nil)
+	if !reach[node(t, g, "p.double")] {
+		t.Error("double's address is taken in hotUse; it must be reachable")
+	}
+	if reach[node(t, g, "p.negate")] {
+		t.Error("negate's only activator is coldUse; it must not be reachable from hotUse")
+	}
+}
+
+func TestReachableStopBoundary(t *testing.T) {
+	g, _ := buildFrom(t, `package p
+
+func a() { b() }
+func b() { c() }
+func c() {}
+`)
+	nb := node(t, g, "p.b")
+	reach := g.Reachable([]*Node{node(t, g, "p.a")}, func(n *Node) bool { return n == nb })
+	if reach[nb] || reach[node(t, g, "p.c")] {
+		t.Errorf("stop node and everything behind it must be excluded; got %v", reach)
+	}
+	if !reach[node(t, g, "p.a")] {
+		t.Error("root itself must be reachable")
+	}
+}
+
+func TestDeterministicEdgeOrder(t *testing.T) {
+	src := `package p
+
+func hub() { z(); a(); m(); a() }
+func a() {}
+func m() {}
+func z() {}
+`
+	g1, _ := buildFrom(t, src)
+	g2, _ := buildFrom(t, src)
+	e1, e2 := node(t, g1, "hub").Calls(), node(t, g2, "hub").Calls()
+	if len(e1) != 3 || len(e2) != 3 {
+		t.Fatalf("duplicate edges not collapsed: %v / %v", e1, e2)
+	}
+	for i := range e1 {
+		if e1[i].Name != e2[i].Name {
+			t.Fatalf("edge order differs between builds: %v vs %v", e1, e2)
+		}
+	}
+	for i := 1; i < len(e1); i++ {
+		if e1[i-1].Pos >= e1[i].Pos {
+			t.Errorf("edges not in position order: %v", e1)
+		}
+	}
+}

@@ -42,9 +42,11 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// Pass gives an analyzer access to one package and a reporting sink.
+// Pass gives an analyzer access to one package, the whole-module
+// interprocedural context, and a reporting sink.
 type Pass struct {
 	Pkg      *Package
+	Mod      *Module
 	analyzer string
 	report   func(Finding)
 }
@@ -65,7 +67,9 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 
 // Analyzers returns fresh instances of the full suite, in reporting order.
 // The first five are syntactic; unitcheck, loopcapture, and convcheck
-// need the go/types information the loader attaches to each Package.
+// need the go/types information the loader attaches to each Package, and
+// alloccheck and parpure additionally use the whole-module call graph
+// Run builds into each Pass.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer(),
@@ -76,6 +80,8 @@ func Analyzers() []*Analyzer {
 		UnitCheckAnalyzer(),
 		LoopCaptureAnalyzer(),
 		ConvCheckAnalyzer(),
+		AllocCheckAnalyzer(),
+		ParPureAnalyzer(),
 	}
 }
 
@@ -130,11 +136,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var all []Finding
 	collect := func(f Finding) { all = append(all, f) }
 
+	// Whole-module interprocedural context: the CHA call graph plus the
+	// hotpath/allow-alloc annotation state alloccheck and parpure need.
+	// Malformed hot-path directives surface like malformed suppressions.
+	mod := NewModule(pkgs)
+	all = append(all, mod.malformed...)
+
 	// fileKey -> line -> analyzers suppressed at that line.
-	type lineKey struct {
-		file string
-		line int
-	}
 	suppressed := map[lineKey]map[string]bool{}
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Files {
@@ -151,7 +159,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			a.Run(&Pass{Pkg: pkg, analyzer: a.Name, report: collect})
+			a.Run(&Pass{Pkg: pkg, Mod: mod, analyzer: a.Name, report: collect})
 		}
 	}
 

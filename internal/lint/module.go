@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mobicol/internal/lint/callgraph"
+)
+
+// Interprocedural module context. The per-package analyzers see one
+// package at a time; alloccheck and parpure reason about what is
+// *reachable* across packages, so Run builds one Module per lint run —
+// the CHA call graph plus the hot-path annotation state — and hands it
+// to every Pass.
+//
+// Two directives drive the hot-path analysis:
+//
+//	//mdglint:hotpath
+//	    on (or in the doc comment of) a function declaration marks it
+//	    as a hot-path root: the function and everything reachable from
+//	    it must not allocate.
+//
+//	//mdglint:allow-alloc(reason)
+//	    on a declaration marks an audited allocation boundary: the
+//	    function may allocate, and hotness does not propagate through
+//	    it (its callees are cold unless reached another way). On a
+//	    statement line (or the line above it), it excuses the
+//	    allocation sites on that line only. The reason is mandatory.
+const (
+	hotpathDirective = "//mdglint:hotpath"
+	allowAllocPrefix = "//mdglint:allow-alloc"
+)
+
+// allocExemptPkg reports whether hotness propagation skips the package:
+// internal/obs is the tracing layer — nil spans are allocation-free
+// no-ops and tracing is off in steady state, so its internals are not
+// hot-path allocations.
+func allocExemptPkg(importPath string) bool {
+	return strings.HasSuffix(importPath, "internal/obs")
+}
+
+// Module is the whole-module context shared by the interprocedural
+// analyzers.
+type Module struct {
+	Pkgs  []*Package
+	Graph *callgraph.Graph
+
+	hot        map[*callgraph.Node]bool
+	hotRoots   []*callgraph.Node
+	allowFuncs map[*callgraph.Node]string // decl-level allow-alloc boundaries
+	allowLines map[lineKey]string         // file:line -> reason
+	malformed  []Finding                  // malformed allow-alloc directives
+}
+
+// lineKey addresses one source line across the module.
+type lineKey struct {
+	file string
+	line int
+}
+
+// NewModule builds the interprocedural context for the given packages.
+// It tolerates partial type information: unresolvable calls simply get
+// no edges and the affected functions fall out of the hot set.
+func NewModule(pkgs []*Package) *Module {
+	cgPkgs := make([]callgraph.Pkg, len(pkgs))
+	for i, p := range pkgs {
+		cgPkgs[i] = callgraph.Pkg{Path: p.ImportPath, Fset: p.Fset, Files: p.Files, Info: p.Info}
+	}
+	m := &Module{
+		Pkgs:       pkgs,
+		Graph:      callgraph.Build(cgPkgs),
+		allowFuncs: map[*callgraph.Node]string{},
+		allowLines: map[lineKey]string{},
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			m.collectDirectives(pkg, file)
+		}
+	}
+	m.hot = m.Graph.Reachable(m.hotRoots, func(n *callgraph.Node) bool {
+		if _, allowed := m.allowFuncs[n]; allowed {
+			return true
+		}
+		return allocExemptPkg(n.PkgPath)
+	})
+	return m
+}
+
+// HotFunc reports whether the body of fn (a *ast.FuncDecl or
+// *ast.FuncLit from one of the module's packages) is on the hot path.
+func (m *Module) HotFunc(pkg *Package, fn ast.Node) bool {
+	return m.hot[m.nodeFor(pkg, fn)]
+}
+
+// HotRootCount returns the number of annotated hot-path roots (used by
+// tests and the CLI -list output).
+func (m *Module) HotRootCount() int { return len(m.hotRoots) }
+
+// AllowedAt returns the allow-alloc reason covering a finding at pos —
+// a directive on the same line or the line above — or "" when none.
+func (m *Module) AllowedAt(pkg *Package, pos token.Pos) string {
+	p := pkg.Fset.Position(pos)
+	if r, ok := m.allowLines[lineKey{p.Filename, p.Line}]; ok {
+		return r
+	}
+	return m.allowLines[lineKey{p.Filename, p.Line - 1}]
+}
+
+// pkgByPath returns the module package with the given import path, or
+// nil (fixture modules may reference paths outside the loaded set).
+func (m *Module) pkgByPath(path string) *Package {
+	for _, p := range m.Pkgs {
+		if p.ImportPath == path {
+			return p
+		}
+	}
+	return nil
+}
+
+// nodeFor resolves an AST function to its graph node.
+func (m *Module) nodeFor(pkg *Package, fn ast.Node) *callgraph.Node {
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		if obj, ok := pkg.Info.Defs[f.Name].(*types.Func); ok {
+			return m.Graph.NodeOf(obj)
+		}
+	case *ast.FuncLit:
+		return m.Graph.NodeOfLit(f)
+	}
+	return nil
+}
+
+// collectDirectives parses the hot-path directives of one file and
+// attaches declaration-level ones to their functions.
+func (m *Module) collectDirectives(pkg *Package, file *ast.File) {
+	fset := pkg.Fset
+	type rawDirective struct {
+		line   int
+		pos    token.Position
+		hot    bool
+		reason string
+	}
+	var raws []rawDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			pos := fset.Position(c.Pos())
+			switch {
+			case text == hotpathDirective:
+				raws = append(raws, rawDirective{line: pos.Line, pos: pos, hot: true})
+			case strings.HasPrefix(text, allowAllocPrefix):
+				rest := strings.TrimPrefix(text, allowAllocPrefix)
+				reason, ok := parseAllowReason(rest)
+				if !ok {
+					m.malformed = append(m.malformed, Finding{Pos: pos, Analyzer: "mdglint",
+						Message: "malformed directive: want //mdglint:allow-alloc(reason)"})
+					continue
+				}
+				raws = append(raws, rawDirective{line: pos.Line, pos: pos, reason: reason})
+			}
+		}
+	}
+	if len(raws) == 0 {
+		return
+	}
+
+	// declAt maps every line of a function declaration's header — doc
+	// comment, the line above the func keyword, and the func line — to
+	// the declaration, so directives there bind to the whole function.
+	declAt := map[int]*ast.FuncDecl{}
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		funcLine := fset.Position(fd.Pos()).Line
+		start := funcLine - 1
+		if fd.Doc != nil {
+			start = fset.Position(fd.Doc.Pos()).Line
+		}
+		for line := start; line <= funcLine; line++ {
+			declAt[line] = fd
+		}
+	}
+
+	for _, d := range raws {
+		fd := declAt[d.line]
+		switch {
+		case d.hot && fd != nil:
+			if n := m.nodeFor(pkg, fd); n != nil {
+				m.hotRoots = append(m.hotRoots, n)
+			}
+		case d.hot:
+			m.malformed = append(m.malformed, Finding{Pos: d.pos, Analyzer: "mdglint",
+				Message: "misplaced directive: //mdglint:hotpath must sit on a function declaration"})
+		case fd != nil:
+			if n := m.nodeFor(pkg, fd); n != nil {
+				m.allowFuncs[n] = d.reason
+			}
+		default:
+			m.allowLines[lineKey{d.pos.Filename, d.line}] = d.reason
+		}
+	}
+}
+
+// parseAllowReason extracts the reason from "(reason)". Empty or
+// unclosed reasons are malformed — the audit trail is the point.
+func parseAllowReason(rest string) (string, bool) {
+	if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+		return "", false
+	}
+	reason := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(rest, "("), ")"))
+	if reason == "" {
+		return "", false
+	}
+	return reason, true
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mobicol/internal/lint/callgraph"
+)
+
+// ParPureAnalyzer builds the interprocedural par-callback purity checker.
+//
+// loopcapture inspects the callback literal handed to internal/par, but
+// deliberately skips literals nested inside it and cannot see into named
+// functions the callback calls. parpure closes that hole with the module
+// call graph: from each par-callback literal it walks everything
+// reachable and flags callees that write shared state —
+//
+//   - any reachable function or closure that assigns to a package-level
+//     variable (workers race on it no matter where the write hides);
+//   - a closure nested inside the callback that writes a variable
+//     declared outside the callback (the shape loopcapture leaves to
+//     "its own contract").
+//
+// Findings are reported at the offending write so the fix site is the
+// finding site, and deduplicated across callbacks: a helper reached from
+// five par loops is one finding, not five. Writes through pointers that
+// merely point at shared state are invisible to this analysis — the race
+// detector in the test suite remains the dynamic backstop.
+func ParPureAnalyzer() *Analyzer {
+	// One seen-set per analyzer instance: Run reuses the instance across
+	// packages, so a callee reachable from callbacks in several packages
+	// is still reported once.
+	seen := map[parPureKey]bool{}
+	return &Analyzer{
+		Name: "parpure",
+		Doc:  "flag callees of internal/par callbacks that write shared outer state",
+		Run:  func(pass *Pass) { runParPure(pass, seen) },
+	}
+}
+
+// parPureKey identifies one (callee, written variable) pair.
+type parPureKey struct {
+	node *callgraph.Node
+	obj  *types.Var
+}
+
+func runParPure(pass *Pass, seen map[parPureKey]bool) {
+	if pass.Mod == nil || pass.Mod.Graph == nil {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isParCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					checkParCallees(pass, lit, seen)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkParCallees inspects everything reachable from one par-callback
+// literal. The root itself is loopcapture's job and is skipped.
+func checkParCallees(pass *Pass, root *ast.FuncLit, seen map[parPureKey]bool) {
+	g := pass.Mod.Graph
+	rootNode := g.NodeOfLit(root)
+	if rootNode == nil {
+		return
+	}
+	reachable := g.Reachable([]*callgraph.Node{rootNode}, nil)
+	// Graph.Nodes() is in deterministic (package, position) order, so the
+	// report order is stable run to run.
+	for _, n := range g.Nodes() {
+		if !reachable[n] || n == rootNode {
+			continue
+		}
+		// Indirect resolution matches by signature alone, so ubiquitous
+		// shapes like func() can pull in unrelated test helpers; test
+		// files keep their race-detector contract instead.
+		if pass.IsTestFile(n.Pos) {
+			continue
+		}
+		pkg := pass.Mod.pkgByPath(n.PkgPath)
+		if pkg == nil {
+			continue
+		}
+		var body *ast.BlockStmt
+		switch {
+		case n.Decl != nil:
+			body = n.Decl.Body
+		case n.Lit != nil:
+			body = n.Lit.Body
+		}
+		if body == nil {
+			continue
+		}
+		nestedInRoot := n.Lit != nil && root.Pos() <= n.Pos && n.Pos < root.End()
+		forEachWrite(pkg.Info, body, func(id *ast.Ident, v *types.Var) {
+			key := parPureKey{node: n, obj: v}
+			if seen[key] {
+				return
+			}
+			switch {
+			case isPackageLevelVar(v):
+				seen[key] = true
+				pass.Reportf(id.Pos(),
+					"%s is reachable from a par callback and writes package-level %s; workers race on it — reduce per-worker results instead",
+					n.Name, v.Name())
+			case nestedInRoot && (v.Pos() < root.Pos() || v.Pos() >= root.End()):
+				seen[key] = true
+				pass.Reportf(id.Pos(),
+					"closure inside a par callback writes %s declared outside the callback; workers race on it — keep worker state inside the callback",
+					v.Name())
+			}
+		})
+	}
+}
+
+// forEachWrite visits every assignment or ++/-- target in body whose
+// base resolves to a variable, skipping nested literals (they are their
+// own graph nodes and get their own visit).
+func forEachWrite(info *types.Info, body *ast.BlockStmt, visit func(*ast.Ident, *types.Var)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if stmt.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range stmt.Lhs {
+				if id, v := writtenVar(info, lhs); v != nil {
+					visit(id, v)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, v := writtenVar(info, stmt.X); v != nil {
+				visit(id, v)
+			}
+		}
+		return true
+	})
+}
+
+// writtenVar resolves the variable a write target ultimately stores
+// into: the base identifier under index/field/deref chains, or the
+// package-level variable named by a qualified selector.
+func writtenVar(info *types.Info, expr ast.Expr) (*ast.Ident, *types.Var) {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[e].(*types.Var); ok {
+				return e, v
+			}
+			return nil, nil
+		case *ast.SelectorExpr:
+			// otherpkg.Var resolves through Sel; x.field recurses into x.
+			if v, ok := info.Uses[e.Sel].(*types.Var); ok && !v.IsField() {
+				return e.Sel, v
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// isPackageLevelVar reports whether v is declared at package scope.
+func isPackageLevelVar(v *types.Var) bool {
+	return !v.IsField() && v.Parent() != nil && v.Parent().Parent() == types.Universe
+}

@@ -1,0 +1,93 @@
+// Fixture for the alloccheck analyzer: heap-allocation sites in
+// functions reachable from //mdglint:hotpath roots, the allow-alloc
+// boundary and line suppressions, and the cold-code silence.
+package fixture
+
+type point struct{ x, y float64 }
+
+type scratch struct{ buf []int }
+
+//mdglint:hotpath
+func hotRoot(n int, s *scratch) int {
+	buf := make([]int, n) // want "make allocates"
+	for i := range buf {
+		buf[i] = i
+	}
+	s.buf = s.buf[:0] // reslicing reuses the backing array — fine
+	total := hotCallee(n)
+	total += coldBoundary(n)
+	return total + len(buf)
+}
+
+// hotCallee is reachable from hotRoot, so its allocations are findings
+// even without its own annotation.
+func hotCallee(n int) int {
+	p := new(point)      // want "new allocates"
+	xs := []int{1, 2, 3} // want "slice literal allocates"
+	m := map[int]int{}   // want "map literal allocates"
+	q := &point{x: 1}    // want "composite literal allocates"
+	m[n] = n
+	return n + len(xs) + len(m) + int(p.x+q.y)
+}
+
+// coldBoundary is an audited allocation boundary: it may allocate, and
+// hotness does not propagate through it.
+//
+//mdglint:allow-alloc(setup-phase helper, measured cold)
+func coldBoundary(n int) int {
+	buf := make([]int, n) // inside the boundary — no finding
+	return len(buf) + throughBoundary(n)
+}
+
+// throughBoundary is reachable only through the boundary, so it stays
+// cold and may allocate freely.
+func throughBoundary(n int) int {
+	tmp := make([]int, n)
+	return len(tmp)
+}
+
+//mdglint:hotpath
+func hotAppend(xs []int, n int) []int {
+	//mdglint:allow-alloc(amortized growth into a reused backing array)
+	xs = append(xs, n)
+	xs = append(xs, n+1) // want "append may grow"
+	return xs
+}
+
+//mdglint:hotpath
+func hotBoxing(v int, s *scratch) {
+	sink(v) // want "boxes a int into an interface parameter"
+	var a any
+	sink(a)   // already an interface value — fine
+	sink(nil) // untyped nil — fine
+	sink(7)   // constant: boxed into static data — fine
+	_ = s
+}
+
+func sink(any) {}
+
+//mdglint:hotpath
+func hotConversions(s string, b []byte) int {
+	x := []byte(s) // want "conversion copies"
+	y := string(b) // want "conversion copies"
+	return len(x) + len(y)
+}
+
+//mdglint:hotpath
+func hotClosures(xs []float64) func() float64 {
+	total := 0.0
+	add := func(v float64) { total += v } // non-escaping local closure — fine
+	for _, v := range xs {
+		add(v)
+	}
+	return func() float64 { return total } // want "capturing closure escapes"
+}
+
+// coldAllocs is reachable from no hot root: allocations are free here.
+func coldAllocs(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,4 +1,4 @@
-// Fixture tripping all eight analyzers in one file. The test loads it
+// Fixture tripping all ten analyzers in one file. The test loads it
 // under import path mobicol/internal/sim, which puts the determinism
 // map-iteration rule, the nopanic internal/ scope, and the convcheck hot
 // planning-path scope all in force, and asserts exact finding counts and
@@ -58,4 +58,29 @@ func captureLoop(items []int) {
 
 func redundant(x float64) float64 {
 	return float64(x) // convcheck
+}
+
+// Pool mirrors par.Pool for the parpure callback rule.
+type Pool struct{}
+
+// ForEach mirrors the par fan-out entry point.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+//mdglint:hotpath
+func hotAlloc(n int) []int {
+	return make([]int, n) // alloccheck
+}
+
+func parShared(p *Pool, n int) {
+	p.ForEach(n, func(i int) {
+		bump(i)
+	})
+}
+
+func bump(i int) {
+	hits += i // parpure
 }

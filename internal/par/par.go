@@ -65,6 +65,8 @@ func (p Pool) Size() int {
 // calling goroutine with no synchronisation at all, so sequential callers
 // pay nothing. fn must be safe to run concurrently with itself and must
 // confine its writes to its own index range.
+//
+//mdglint:hotpath
 func (p Pool) ForChunks(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -81,6 +83,7 @@ func (p Pool) ForChunks(n int, fn func(lo, hi int)) {
 	wg.Add(w)
 	for c := 0; c < w; c++ {
 		lo, hi := c*n/w, (c+1)*n/w
+		//mdglint:allow-alloc(one goroutine closure per worker per fan-out, not per item)
 		go func() {
 			defer wg.Done()
 			fn(lo, hi)
@@ -93,7 +96,10 @@ func (p Pool) ForChunks(n int, fn func(lo, hi int)) {
 // fn must confine its writes to per-index state (e.g. slot i of a result
 // slice); under that contract the observable outcome is identical for any
 // pool size.
+//
+//mdglint:hotpath
 func (p Pool) ForEach(n int, fn func(i int)) {
+	//mdglint:allow-alloc(one wrapper closure per fan-out; the per-item loop inside allocates nothing)
 	p.ForChunks(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fn(i)

@@ -61,7 +61,7 @@ func TestDropRedundantMatchesOracle(t *testing.T) {
 		}
 		got := append([]int(nil), padded...)
 		want := append([]int(nil), padded...)
-		gotDrop := dropRedundant(inst, &got)
+		gotDrop := dropRedundant(inst, &got, newRefineScratch(inst))
 		wantDrop := dropRedundantOracle(inst, &want)
 		if gotDrop != wantDrop {
 			t.Fatalf("seed %d: dropped=%v, oracle %v", seed, gotDrop, wantDrop)
@@ -145,7 +145,7 @@ func TestRelocateStopsMatchesOracle(t *testing.T) {
 		}
 		got := append([]int(nil), chosen...)
 		want := append([]int(nil), chosen...)
-		gotMoved := relocateStops(p, inst, got)
+		gotMoved := relocateStops(p, inst, got, newRefineScratch(inst))
 		wantMoved := relocateStopsOracle(p, inst, want)
 		if gotMoved != wantMoved {
 			t.Fatalf("seed %d: moved=%v, oracle %v", seed, gotMoved, wantMoved)

@@ -40,6 +40,8 @@ func DefaultPlannerOptions() PlannerOptions {
 //  3. Refine: drop stops whose sensors are absorbed by remaining stops,
 //     and relocate each stop to the candidate that covers the same
 //     critical sensors with the smallest tour detour.
+//
+//mdglint:hotpath
 func Plan(p *Problem, opts PlannerOptions) (*Solution, error) {
 	root := opts.Obs.Start("plan")
 	defer root.End()
@@ -76,11 +78,12 @@ func Plan(p *Problem, opts PlannerOptions) (*Solution, error) {
 			passes = 3
 		}
 		spRefine := root.Child("refine")
+		rs := newRefineScratch(inst)
 		ran := 0
 		for pass := 0; pass < passes; pass++ {
 			ran++
-			changed := dropRedundant(inst, &chosen)
-			changed = relocateStops(p, inst, chosen) || changed
+			changed := dropRedundant(inst, &chosen, rs)
+			changed = relocateStops(p, inst, chosen, rs) || changed
 			if !changed {
 				break
 			}
@@ -119,6 +122,66 @@ func algorithmName(opts PlannerOptions) string {
 	return name
 }
 
+// refineScratch holds the buffers the refinement passes share: coverage
+// counts, the per-sensor coverer lists, the critical-sensor set, and the
+// tour-neighbour arrays. Plan builds one per call and reuses it across
+// every refinement pass, so the passes themselves stay allocation-free.
+type refineScratch struct {
+	counts   []int        // counts[s] = kept stops covering sensor s
+	coverers [][]int      // coverers[s] = candidates covering s, ascending
+	critical *bitset.Set  // scratch for one stop's critical sensors
+	pts      []geom.Point // sink + stop positions for the proxy tour
+	prev     []geom.Point // prev[i] = tour predecessor of stop i
+	next     []geom.Point // next[i] = tour successor of stop i
+}
+
+// newRefineScratch sizes the buffers for the instance. The coverer lists
+// depend only on the instance's candidate covers — not on the current
+// selection — so building them here once serves every refinement pass.
+//
+//mdglint:allow-alloc(refine scratch is built once per Plan and reused across all passes)
+func newRefineScratch(inst *cover.Instance) *refineScratch {
+	rs := &refineScratch{
+		counts:   make([]int, inst.Universe),
+		coverers: make([][]int, inst.Universe),
+		critical: bitset.New(inst.Universe),
+	}
+	for c := range inst.Covers {
+		set := inst.Covers[c]
+		for s := set.NextSet(0); s >= 0; s = set.NextSet(s + 1) {
+			rs.coverers[s] = append(rs.coverers[s], c)
+		}
+	}
+	return rs
+}
+
+// ensureTour grows the proxy-tour buffers to hold k stops.
+//
+//mdglint:allow-alloc(tour-buffer growth is amortized; later passes reuse the retained arrays)
+func (rs *refineScratch) ensureTour(k int) {
+	if cap(rs.pts) < k+1 {
+		rs.pts = make([]geom.Point, 0, k+1)
+		rs.prev = make([]geom.Point, k)
+		rs.next = make([]geom.Point, k)
+	}
+	rs.pts = rs.pts[:0]
+	rs.prev = rs.prev[:k]
+	rs.next = rs.next[:k]
+}
+
+// resetCounts recomputes the coverage counts for the current selection.
+func (rs *refineScratch) resetCounts(inst *cover.Instance, chosen []int) {
+	for i := range rs.counts {
+		rs.counts[i] = 0
+	}
+	for _, c := range chosen {
+		set := inst.Covers[c]
+		for s := set.NextSet(0); s >= 0; s = set.NextSet(s + 1) {
+			rs.counts[s]++
+		}
+	}
+}
+
 // dropRedundant removes chosen stops whose covered sensors are all covered
 // by the other chosen stops. Fewer stops can only shorten the tour. Stops
 // are considered in selection order. Returns whether anything was dropped.
@@ -130,13 +193,10 @@ func algorithmName(opts PlannerOptions) string {
 // left-to-right pass with live counts equivalent to the old
 // remove-first-and-restart fixed point (TestDropRedundantMatchesOracle
 // pins it), without rebuilding an O(k) bitset union per stop per round.
-func dropRedundant(inst *cover.Instance, chosen *[]int) bool {
+func dropRedundant(inst *cover.Instance, chosen *[]int, rs *refineScratch) bool {
 	cur := *chosen
-	// counts[s] = number of currently kept stops covering sensor s.
-	counts := make([]int, inst.Universe)
-	for _, c := range cur {
-		inst.Covers[c].ForEach(func(s int) { counts[s]++ })
-	}
+	rs.resetCounts(inst, cur)
+	counts := rs.counts
 	redundant := func(c int) bool {
 		set := inst.Covers[c]
 		for s := set.NextSet(0); s >= 0; s = set.NextSet(s + 1) {
@@ -150,10 +210,14 @@ func dropRedundant(inst *cover.Instance, chosen *[]int) bool {
 	dropped := false
 	for _, c := range cur {
 		if redundant(c) {
-			inst.Covers[c].ForEach(func(s int) { counts[s]-- })
+			set := inst.Covers[c]
+			for s := set.NextSet(0); s >= 0; s = set.NextSet(s + 1) {
+				counts[s]--
+			}
 			dropped = true
 			continue
 		}
+		//mdglint:allow-alloc(out aliases cur[:0]; the append writes into the selection's own storage)
 		out = append(out, c)
 	}
 	*chosen = out
@@ -165,20 +229,22 @@ func dropRedundant(inst *cover.Instance, chosen *[]int) bool {
 // chosen stop covers) while sitting closer to the tour through the
 // remaining stops. The proxy objective is the detour relative to the
 // stop's two current tour neighbours. Returns whether any stop moved.
-func relocateStops(p *Problem, inst *cover.Instance, chosen []int) bool {
+func relocateStops(p *Problem, inst *cover.Instance, chosen []int, rs *refineScratch) bool {
 	if len(chosen) == 0 {
 		return false
 	}
 	// Current tour order over sink + stops to know each stop's neighbours.
-	pts := make([]geom.Point, 0, len(chosen)+1)
+	rs.ensureTour(len(chosen))
+	pts := rs.pts
+	//mdglint:allow-alloc(append stays within the capacity ensureTour reserved)
 	pts = append(pts, p.Net.Sink)
 	for _, c := range chosen {
+		//mdglint:allow-alloc(append stays within the capacity ensureTour reserved)
 		pts = append(pts, inst.Candidates[c])
 	}
 	tour := tsp.Solve(pts, tsp.Options{Construction: tsp.ConstructGreedy, TwoOpt: true})
 	tour.RotateTo(0)
-	prev := make([]geom.Point, len(chosen))
-	next := make([]geom.Point, len(chosen))
+	prev, next := rs.prev, rs.next
 	for ti, idx := range tour {
 		if idx == 0 {
 			continue
@@ -191,29 +257,25 @@ func relocateStops(p *Problem, inst *cover.Instance, chosen []int) bool {
 	// across relocations so each stop's critical set (sensors only it
 	// covers, i.e. count exactly 1) reflects every earlier move — the
 	// same set the old per-stop O(k) bitset union produced.
-	counts := make([]int, inst.Universe)
-	for _, c := range chosen {
-		inst.Covers[c].ForEach(func(s int) { counts[s]++ })
-	}
+	rs.resetCounts(inst, chosen)
+	counts := rs.counts
 	// coverers[s] lists the candidates covering sensor s in ascending
 	// index order. Any replacement for stop i must cover all of i's
 	// critical sensors, so it suffices to scan the coverers of one of
 	// them — a handful of candidates instead of all of them — in the
 	// same ascending order the full scan used, preserving tie-breaks.
-	coverers := make([][]int, inst.Universe)
-	for c := range inst.Covers {
-		ci := c
-		inst.Covers[ci].ForEach(func(s int) { coverers[s] = append(coverers[s], ci) })
-	}
+	// The lists live in the scratch: they depend only on the instance.
+	coverers := rs.coverers
 	moved := false
-	critical := bitset.New(inst.Universe)
+	critical := rs.critical
 	for i := range chosen {
 		critical.Clear()
-		inst.Covers[chosen[i]].ForEach(func(s int) {
+		cset := inst.Covers[chosen[i]]
+		for s := cset.NextSet(0); s >= 0; s = cset.NextSet(s + 1) {
 			if counts[s] == 1 {
 				critical.Add(s)
 			}
-		})
+		}
 		cur := inst.Candidates[chosen[i]]
 		bestCost := prev[i].Dist(cur) + cur.Dist(next[i])
 		bestCand := chosen[i]
@@ -242,8 +304,14 @@ func relocateStops(p *Problem, inst *cover.Instance, chosen []int) bool {
 			}
 		}
 		if bestCand != chosen[i] {
-			inst.Covers[chosen[i]].ForEach(func(s int) { counts[s]-- })
-			inst.Covers[bestCand].ForEach(func(s int) { counts[s]++ })
+			old := inst.Covers[chosen[i]]
+			for s := old.NextSet(0); s >= 0; s = old.NextSet(s + 1) {
+				counts[s]--
+			}
+			nw := inst.Covers[bestCand]
+			for s := nw.NextSet(0); s >= 0; s = nw.NextSet(s + 1) {
+				counts[s]++
+			}
 			chosen[i] = bestCand
 			moved = true
 		}

@@ -47,6 +47,8 @@ func NewProblem(nw *wsn.Network) *Problem { return &Problem{Net: nw} }
 // Instance materialises the covering instance for the problem. It fails
 // when the candidate strategy is unknown or the instance is infeasible
 // (some sensor out of range of every candidate).
+//
+//mdglint:allow-alloc(instance materialisation runs once per plan and owns the candidate/cover storage)
 func (p *Problem) Instance() (*cover.Instance, error) {
 	sensors := p.Net.Positions()
 	cands, err := cover.GenerateCandidates(sensors, p.Net.Field, p.Net.Range, p.Strategy, p.GridSpacing)
@@ -129,6 +131,8 @@ func almostEq(a, b geom.Meters) bool {
 // buildSolution assembles a Solution from chosen candidate indices: order
 // the stops with the TSP engine (sink included as an anchor), rotate the
 // sink first, and assign each sensor to its nearest chosen stop.
+//
+//mdglint:allow-alloc(solution assembly runs once per plan and owns the tour plan it returns)
 func buildSolution(p *Problem, inst *cover.Instance, chosen []int, opts tsp.Options, algorithm string) *Solution {
 	sensors := p.Net.Positions()
 	// Tour points: index 0 is the sink, 1..k are the stops.

@@ -116,6 +116,40 @@ func sortByDist(pts []geom.Point, i int, cand []int) {
 	})
 }
 
+// Scratch holds the reusable working state of the local-search passes.
+// The zero value is ready to use; buffers grow to the largest instance
+// seen and are retained, so repeated passes touch the allocator only on
+// first use. Solve threads one Scratch through all of its improvement
+// passes, and callers running many solves (the planners' refinement
+// loops, the benchmark harness) can hold their own across calls. A
+// Scratch must not be shared between concurrent passes.
+type Scratch struct {
+	pos      []int  // point -> position in tour
+	dontLook []bool // don't-look bits
+	queue    []int  // work queue of points to (re-)examine
+	reloc    Tour   // relocation splice buffer
+}
+
+// ensure sizes the buffers for an n-stop tour and resets per-pass state.
+//
+//mdglint:allow-alloc(scratch growth is amortized; steady state reuses the retained buffers)
+func (s *Scratch) ensure(n int) {
+	if cap(s.pos) < n {
+		s.pos = make([]int, n)
+		s.dontLook = make([]bool, n)
+		s.reloc = make(Tour, 0, n)
+	}
+	if cap(s.queue) < n {
+		s.queue = make([]int, 0, n)
+	}
+	s.pos = s.pos[:n]
+	s.dontLook = s.dontLook[:n]
+	for i := range s.dontLook {
+		s.dontLook[i] = false
+	}
+	s.queue = s.queue[:0]
+}
+
 // TwoOpt improves tour in place with 2-opt moves (reverse a segment when
 // doing so shortens the tour), restricted to candidate edges between near
 // neighbours and accelerated with don't-look bits. It returns the number
@@ -127,21 +161,41 @@ func TwoOpt(pts []geom.Point, tour Tour) int {
 	return TwoOptNeighbors(pts, tour, neighborLists(pts, neighborK))
 }
 
+// NeighborLists builds the k-nearest candidate lists the improvement
+// passes take (the solver uses k = 12). The lists depend only on the
+// point set, so callers holding a Scratch across passes build them once
+// and share them between TwoOpt and OrOpt.
+func NeighborLists(pts []geom.Point, k int) [][]int {
+	return neighborLists(pts, k)
+}
+
 // TwoOptNeighbors is TwoOpt over a caller-supplied neighbour list, so a
 // solver running several improvement passes builds the lists once and
-// shares them between TwoOpt and OrOptNeighbors.
+// shares them between TwoOpt and OrOptNeighbors. It builds fresh scratch
+// state per call; hot loops should hold a Scratch and call its TwoOpt.
 func TwoOptNeighbors(pts []geom.Point, tour Tour, neigh [][]int) int {
+	var s Scratch
+	return s.TwoOpt(pts, tour, neigh)
+}
+
+// TwoOpt is TwoOptNeighbors over caller-owned scratch state: the
+// steady-state pass allocates nothing once the buffers have grown to the
+// instance size. The move sequence is identical to TwoOptNeighbors.
+//
+//mdglint:hotpath
+func (s *Scratch) TwoOpt(pts []geom.Point, tour Tour, neigh [][]int) int {
 	n := len(tour)
 	if n < 4 {
 		return 0
 	}
-	pos := make([]int, n) // point -> position in tour
+	s.ensure(n)
+	pos, dontLook := s.pos, s.dontLook
 	for i, v := range tour {
 		pos[v] = i
 	}
-	dontLook := make([]bool, n)
-	queue := make([]int, n)
-	copy(queue, tour)
+	//mdglint:allow-alloc(append reuses queue capacity retained in the scratch)
+	s.queue = append(s.queue, tour...)
+	head := 0
 	moves := 0
 	d := func(a, b int) float64 { return pts[a].Dist(pts[b]) }
 	succ := func(i int) int { return tour[(pos[i]+1)%n] }
@@ -209,7 +263,8 @@ func TwoOptNeighbors(pts []geom.Point, tour Tour, neigh [][]int) int {
 					for _, v := range [4]int{a, b, c, e} {
 						if dontLook[v] {
 							dontLook[v] = false
-							queue = append(queue, v)
+							//mdglint:allow-alloc(append reuses queue capacity retained in the scratch)
+							s.queue = append(s.queue, v)
 						}
 					}
 					moves++
@@ -220,14 +275,15 @@ func TwoOptNeighbors(pts []geom.Point, tour Tour, neigh [][]int) int {
 		return false
 	}
 
-	for len(queue) > 0 {
-		a := queue[0]
-		queue = queue[1:]
+	for head < len(s.queue) {
+		a := s.queue[head]
+		head++
 		if dontLook[a] {
 			continue
 		}
 		if improveAt(a) {
-			queue = append(queue, a)
+			//mdglint:allow-alloc(append reuses queue capacity retained in the scratch)
+			s.queue = append(s.queue, a)
 		} else {
 			dontLook[a] = true
 		}
@@ -252,6 +308,7 @@ func OrOpt(pts []geom.Point, tour Tour) int {
 	d := func(a, b int) float64 { return pts[a].Dist(pts[b]) }
 	moves := 0
 	maxSeg := min(3, n-3)
+	buf := make(Tour, 0, n)
 	improved := true
 	for improved {
 		improved = false
@@ -281,7 +338,7 @@ func OrOpt(pts []geom.Point, tour Tour) int {
 						added = backward
 					}
 					if added < removed-1e-12 {
-						relocate(tour, i, segLen, j, rev)
+						relocate(tour, i, segLen, j, rev, buf)
 						moves++
 						improved = true
 						// This segment has moved; continue the pass at the
@@ -304,21 +361,32 @@ func OrOpt(pts []geom.Point, tour Tour) int {
 // orientation) the insertions the full scan would find. It returns the
 // number of improving moves applied.
 func OrOptNeighbors(pts []geom.Point, tour Tour, neigh [][]int) int {
+	var s Scratch
+	return s.OrOpt(pts, tour, neigh)
+}
+
+// OrOpt is OrOptNeighbors over caller-owned scratch state: the
+// steady-state pass allocates nothing once the buffers have grown to the
+// instance size. The move sequence is identical to OrOptNeighbors.
+//
+//mdglint:hotpath
+func (s *Scratch) OrOpt(pts []geom.Point, tour Tour, neigh [][]int) int {
 	n := len(tour)
 	if n < 5 {
 		return 0
 	}
+	s.ensure(n)
 	d := func(a, b int) float64 { return pts[a].Dist(pts[b]) }
-	pos := make([]int, n)
+	pos, dontLook := s.pos, s.dontLook
 	rebuild := func() {
 		for i, v := range tour {
 			pos[v] = i
 		}
 	}
 	rebuild()
-	dontLook := make([]bool, n)
-	queue := make([]int, n)
-	copy(queue, tour)
+	//mdglint:allow-alloc(append reuses queue capacity retained in the scratch)
+	s.queue = append(s.queue, tour...)
+	head := 0
 	moves := 0
 	maxSeg := min(3, n-3)
 
@@ -350,12 +418,13 @@ func OrOptNeighbors(pts []geom.Point, tour Tour, neigh [][]int) int {
 							added = backward
 						}
 						if added < removed-1e-12 {
-							relocate(tour, i, segLen, j, rev)
+							relocate(tour, i, segLen, j, rev, s.reloc)
 							rebuild()
 							for _, v := range [6]int{p0, p1, s0, s1, a, b} {
 								if dontLook[v] {
 									dontLook[v] = false
-									queue = append(queue, v)
+									//mdglint:allow-alloc(append reuses queue capacity retained in the scratch)
+									s.queue = append(s.queue, v)
 								}
 							}
 							moves++
@@ -368,14 +437,15 @@ func OrOptNeighbors(pts []geom.Point, tour Tour, neigh [][]int) int {
 		return false
 	}
 
-	for len(queue) > 0 {
-		s0 := queue[0]
-		queue = queue[1:]
+	for head < len(s.queue) {
+		s0 := s.queue[head]
+		head++
 		if dontLook[s0] {
 			continue
 		}
 		if improveAt(s0) {
-			queue = append(queue, s0)
+			//mdglint:allow-alloc(append reuses queue capacity retained in the scratch)
+			s.queue = append(s.queue, s0)
 		} else {
 			dontLook[s0] = true
 		}
@@ -397,12 +467,12 @@ func within(i, segLen, j, n int) bool {
 // relocate moves the segment of segLen stops (at most 3) starting at
 // position i to just after position j, optionally reversing it. It
 // rebuilds the tour by value: remove the segment, then splice it back in
-// after the stop that was at position j.
-func relocate(tour Tour, i, segLen, j int, rev bool) {
-	n := len(tour)
+// after the stop that was at position j. buf is a caller-owned splice
+// buffer with capacity >= len(tour); relocate never retains it.
+func relocate(tour Tour, i, segLen, j int, rev bool, buf Tour) {
 	var seg [3]int
 	for k := 0; k < segLen; k++ {
-		seg[k] = tour[(i+k)%n]
+		seg[k] = tour[(i+k)%len(tour)]
 	}
 	if rev {
 		for a, b := 0, segLen-1; a < b; a, b = a+1, b-1 {
@@ -410,13 +480,15 @@ func relocate(tour Tour, i, segLen, j int, rev bool) {
 		}
 	}
 	anchor := tour[j]
-	out := make(Tour, 0, n)
+	out := buf[:0]
 	for _, v := range tour {
 		if v == seg[0] || (segLen > 1 && v == seg[1]) || (segLen > 2 && v == seg[2]) {
 			continue
 		}
+		//mdglint:allow-alloc(append writes within buf's reserved capacity; relocate emits exactly len(tour) values)
 		out = append(out, v)
 		if v == anchor {
+			//mdglint:allow-alloc(append writes within buf's reserved capacity; relocate emits exactly len(tour) values)
 			out = append(out, seg[:segLen]...)
 		}
 	}

@@ -98,6 +98,7 @@ func orOptMatrix(d [][]float64, tour Tour) {
 	if n < 5 {
 		return
 	}
+	buf := make(Tour, 0, n)
 	improved := true
 	for improved {
 		improved = false
@@ -128,7 +129,7 @@ func orOptMatrix(d [][]float64, tour Tour) {
 						added = backward
 					}
 					if added < removed-1e-12 {
-						relocate(tour, i, segLen, j, rev)
+						relocate(tour, i, segLen, j, rev, buf)
 						improved = true
 						break scan
 					}

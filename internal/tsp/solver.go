@@ -64,6 +64,8 @@ func DefaultOptions() Options {
 }
 
 // Solve returns a closed tour over pts according to opts.
+//
+//mdglint:allow-alloc(per-solve setup: construction and neighbour lists allocate once; the improvement passes are scratch-based hot roots)
 func Solve(pts []geom.Point, opts Options) Tour {
 	n := len(pts)
 	if n <= 3 {
@@ -113,8 +115,11 @@ func Solve(pts []geom.Point, opts Options) Tour {
 	if opts.TwoOpt || opts.OrOpt {
 		neigh = neighborLists(pts, neighborK)
 	}
-	twoOpt := func(p []geom.Point, t Tour) int { return TwoOptNeighbors(p, t, neigh) }
-	orOpt := func(p []geom.Point, t Tour) int { return OrOptNeighbors(p, t, neigh) }
+	// One scratch serves every pass: the second 2-opt pass reuses the
+	// buffers the first one grew.
+	var s Scratch
+	twoOpt := func(p []geom.Point, t Tour) int { return s.TwoOpt(p, t, neigh) }
+	orOpt := func(p []geom.Point, t Tour) int { return s.OrOpt(p, t, neigh) }
 	if opts.TwoOpt {
 		improvePass(pts, t, opts.Obs, "twoopt", "tsp.twoopt_moves", twoOpt)
 	}

@@ -65,6 +65,7 @@ func (t Tour) Clone() Tour { return append(Tour(nil), t...) }
 // RotateTo rotates the tour in place so that it begins at the stop with
 // index start. Closed-tour length is rotation invariant; the collector
 // conventionally departs from the sink, so planners rotate the sink first.
+// The rotation is the classic three-reversal, so no buffer is needed.
 func (t Tour) RotateTo(start int) {
 	pos := -1
 	for i, v := range t {
@@ -76,10 +77,15 @@ func (t Tour) RotateTo(start int) {
 	if pos <= 0 {
 		return
 	}
-	rotated := make(Tour, 0, len(t))
-	rotated = append(rotated, t[pos:]...)
-	rotated = append(rotated, t[:pos]...)
-	copy(t, rotated)
+	reverseTour(t[:pos])
+	reverseTour(t[pos:])
+	reverseTour(t)
+}
+
+func reverseTour(t Tour) {
+	for i, j := 0, len(t)-1; i < j; i, j = i+1, j-1 {
+		t[i], t[j] = t[j], t[i]
+	}
 }
 
 // trivialTour returns the identity ordering for n points, handling the
