@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint lint-json lint-fix-hints vet fmt bench check cover cover-update fuzz-smoke escape escape-update alloc-bench
+.PHONY: all build test race lint lint-json lint-fix-hints vet fmt bench check cover cover-update fuzz-smoke escape escape-update alloc-bench perf perf-update trace
 
 all: check
 
@@ -71,6 +71,25 @@ escape-update:
 # suite enforces this via TestHotPathSteadyStateZeroAllocs).
 alloc-bench:
 	$(GO) test -run=^$$ -bench=SteadyState -benchmem .
+
+# perf enforces the committed planner perf baseline (PERF_baseline.json):
+# quality fields and span counts bit-identical, allocs_per_op may not
+# grow, bytes/wall-clock within noise-aware tolerances (median of
+# PERF_K runs). perf-update regenerates the baseline after a deliberate
+# change.
+PERF_K ?= 3
+perf:
+	$(GO) run ./cmd/mdgperf -k $(PERF_K)
+
+perf-update:
+	$(GO) run ./cmd/mdgperf -k $(PERF_K) -update
+
+# trace records a seeded planner trace and prints its per-phase summary
+# (deterministic: byte-identical across runs of the same seed).
+trace:
+	$(GO) run ./cmd/wsngen -n 100 -side 200 -range 30 -seed 1 -o /tmp/mobicol-net.json
+	$(GO) run ./cmd/mdgplan -net /tmp/mobicol-net.json -algo shdg -trace /tmp/mobicol-trace.jsonl
+	$(GO) run ./cmd/mdgtrace summary /tmp/mobicol-trace.jsonl
 
 # fuzz-smoke runs each native fuzz target for FUZZTIME on top of the
 # committed corpora under testdata/fuzz/.

@@ -7,6 +7,7 @@ package mobicol
 // a custom unit so shapes are visible straight from the bench output.
 
 import (
+	"io"
 	"strconv"
 	"strings"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"mobicol/internal/bench"
 	"mobicol/internal/cover"
 	"mobicol/internal/geom"
+	"mobicol/internal/obs"
 	"mobicol/internal/tsp"
 )
 
@@ -184,6 +186,44 @@ func BenchmarkGreedySteadyState(b *testing.B) {
 	}
 }
 
+// warmSpanTrace builds an enabled trace and runs a few full span round
+// trips so the span free list, field slices, line buffer, and registry
+// entries are all grown: after this, instrumenting a phase is free.
+func warmSpanTrace() *obs.Trace {
+	tr := obs.New(io.Discard)
+	for i := 0; i < 8; i++ {
+		spanRoundTrip(tr)
+	}
+	return tr
+}
+
+// spanRoundTrip is one representative unit of instrumentation work: a
+// root span, a child span with typed fields, and metric updates — the
+// shape every planner phase uses.
+func spanRoundTrip(tr *obs.Trace) {
+	root := tr.Start("bench.root")
+	child := root.Child("bench.phase")
+	child.SetInt("iters", 42)
+	child.SetFloat("gain", 1.5)
+	child.SetStr("algo", "shdg")
+	child.Count("bench.calls", 1)
+	child.Observe("bench.gain", 3)
+	child.End()
+	root.End()
+}
+
+// BenchmarkSpanSteadyState pins the obs span enter/exit path at
+// allocs/op == 0: with the span pool, line buffer, and registry warmed,
+// tracing a phase must not allocate.
+func BenchmarkSpanSteadyState(b *testing.B) {
+	tr := warmSpanTrace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spanRoundTrip(tr)
+	}
+}
+
 // TestHotPathSteadyStateZeroAllocs enforces what the steady-state
 // benchmarks report: the scratch-based hot passes must not allocate once
 // their buffers have grown. A regression here means a heap allocation
@@ -206,5 +246,10 @@ func TestHotPathSteadyStateZeroAllocs(t *testing.T) {
 		}
 	}); n != 0 {
 		t.Errorf("Instance.GreedyInto steady state allocates %.1f objects/op, want 0", n)
+	}
+
+	tr := warmSpanTrace()
+	if n := testing.AllocsPerRun(20, func() { spanRoundTrip(tr) }); n != 0 {
+		t.Errorf("obs span round trip steady state allocates %.1f objects/op, want 0", n)
 	}
 }

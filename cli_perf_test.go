@@ -1,0 +1,110 @@
+package mobicol
+
+// Golden end-to-end tests of the mdgperf performance ratchet. The exit
+// codes are driven through pre-recorded artifacts (-current) so the
+// tests are deterministic: no wall-clock measurement can flake them.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mobicol/internal/bench"
+)
+
+// perfFixture returns a small v2 artifact used as both baseline and
+// (perturbed) current run.
+func perfFixture() *bench.PlannerBenchResult {
+	return &bench.PlannerBenchResult{
+		Schema: bench.PlannerBenchSchema,
+		Trials: 5, Seed: 1, N: 100, SideM: 200, RangeM: 30,
+		Meta: bench.PlannerBenchMeta{Workers: 1, TrialsPerPhase: 5},
+		Algos: []bench.PlannerAlgoBench{{
+			Algo:        "shdg",
+			MeanTourM:   779.4097257411898,
+			MeanStops:   18,
+			PhaseNs:     map[string]int64{"plan": 2_000_000, "tsp": 700_000},
+			Spans:       map[string]int{"plan": 5, "tsp": 5},
+			AllocsPerOp: 1000, BytesPerOp: 50_000,
+		}},
+	}
+}
+
+func writePerfArtifact(t *testing.T, dir, name string, res *bench.PlannerBenchResult) string {
+	t.Helper()
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIPerfRatchetGolden(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writePerfArtifact(t, dir, "baseline.json", perfFixture())
+
+	// Clean compare: identical artifact holds.
+	clean := writePerfArtifact(t, dir, "clean.json", perfFixture())
+	out, errOut, code := runExitCLI(t, "mdgperf", "-baseline", baseline, "-current", clean)
+	if code != 0 || !strings.Contains(out, "hold against") {
+		t.Fatalf("clean compare: code %d, out %q, stderr %q", code, out, errOut)
+	}
+
+	// Wall-time regression beyond tolerance trips the gate.
+	slow := perfFixture()
+	slow.Algos[0].PhaseNs["plan"] = 200_000_000
+	slowPath := writePerfArtifact(t, dir, "slow.json", slow)
+	_, errOut, code = runExitCLI(t, "mdgperf", "-baseline", baseline, "-current", slowPath)
+	if code != 1 || !strings.Contains(errOut, `phase "plan"`) {
+		t.Fatalf("phase regression: code %d, want 1; stderr %q", code, errOut)
+	}
+
+	// Any allocs_per_op increase trips the exact gate.
+	alloc := perfFixture()
+	alloc.Algos[0].AllocsPerOp++
+	allocPath := writePerfArtifact(t, dir, "alloc.json", alloc)
+	_, errOut, code = runExitCLI(t, "mdgperf", "-baseline", baseline, "-current", allocPath)
+	if code != 1 || !strings.Contains(errOut, "allocs_per_op") {
+		t.Fatalf("alloc regression: code %d, want 1; stderr %q", code, errOut)
+	}
+
+	// Missing baseline is operational, not a regression.
+	_, errOut, code = runExitCLI(t, "mdgperf", "-baseline", filepath.Join(dir, "nope.json"), "-current", clean)
+	if code != 2 || !strings.Contains(errOut, "-update") {
+		t.Fatalf("missing baseline: code %d, want 2; stderr %q", code, errOut)
+	}
+}
+
+func TestCLIPerfUpdateWritesBaseline(t *testing.T) {
+	dir := t.TempDir()
+	cur := writePerfArtifact(t, dir, "cur.json", perfFixture())
+	baseline := filepath.Join(dir, "new-baseline.json")
+	out, errOut, code := runExitCLI(t, "mdgperf", "-baseline", baseline, "-current", cur, "-update")
+	if code != 0 || !strings.Contains(out, "wrote baseline") {
+		t.Fatalf("-update: code %d, out %q, stderr %q", code, out, errOut)
+	}
+	f, err := os.Open(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := bench.ReadPlannerBench(f)
+	if err != nil || len(res.Algos) != 1 {
+		t.Fatalf("written baseline unreadable: %v, %+v", err, res)
+	}
+}
+
+// TestCLIPerfCommittedBaseline validates the artifact this repo ships:
+// it must parse at the current schema and hold against itself.
+func TestCLIPerfCommittedBaseline(t *testing.T) {
+	out, errOut, code := runExitCLI(t, "mdgperf", "-baseline", "PERF_baseline.json", "-current", "PERF_baseline.json")
+	if code != 0 {
+		t.Fatalf("committed PERF_baseline.json does not hold against itself: code %d\n%s%s", code, out, errOut)
+	}
+}

@@ -105,7 +105,7 @@ func TestCLIObstaclePipeline(t *testing.T) {
 func TestCLILifetime(t *testing.T) {
 	net, _ := runCLI(t, nil, "wsngen", "-n", "100", "-seed", "2")
 	out, _ := runCLI(t, []byte(net), "mdglife", "-battery", "0.01")
-	for _, want := range []string{"shdg", "cla", "straight-line", "static-sink"} {
+	for _, want := range []string{"shdg", "cla", "straight-line", "static-sink", "residual p50/p90/p99(J)"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("mdglife output missing %q:\n%s", want, out)
 		}
@@ -193,7 +193,11 @@ func TestCLIBenchArtifact(t *testing.T) {
 	}
 	var res struct {
 		Schema string `json:"schema"`
-		Algos  []struct {
+		Meta   struct {
+			Workers        int `json:"workers"`
+			TrialsPerPhase int `json:"trials_per_phase"`
+		} `json:"meta"`
+		Algos []struct {
 			Algo    string           `json:"algo"`
 			PhaseNs map[string]int64 `json:"phase_ns"`
 		} `json:"algos"`
@@ -201,8 +205,11 @@ func TestCLIBenchArtifact(t *testing.T) {
 	if err := json.Unmarshal(raw, &res); err != nil {
 		t.Fatalf("bench artifact not JSON: %v", err)
 	}
-	if res.Schema != "mobicol/bench-planner/v1" || len(res.Algos) != 3 {
+	if res.Schema != "mobicol/bench-planner/v2" || len(res.Algos) != 3 {
 		t.Fatalf("bench artifact = %+v", res)
+	}
+	if res.Meta.Workers < 1 || res.Meta.TrialsPerPhase != 1 {
+		t.Fatalf("bench artifact v2 meta = %+v", res.Meta)
 	}
 	if _, ok := res.Algos[0].PhaseNs["plan"]; !ok {
 		t.Fatalf("shdg row missing plan phase: %+v", res.Algos[0])

@@ -40,6 +40,7 @@ var hotPackages = []string{
 	"./internal/par",
 	"./internal/bitset",
 	"./internal/geom",
+	"./internal/obs",
 }
 
 func main() {

@@ -35,6 +35,21 @@ func main() {
 	}
 }
 
+// residualPercentiles buckets the final per-node residual energies on a
+// fine fraction-of-battery ladder (the same shape the "sim.residual_j"
+// trace histogram uses, just 4x finer) and reads p50/p90/p99 back via
+// the registry's quantile estimator. Low percentiles near empty mean
+// the scheme drains some sensors flat even when the mean looks healthy.
+func residualPercentiles(residual []energy.Joules, battery float64) (p50, p90, p99 float64) {
+	r := obs.NewRegistry()
+	h := r.Histogram("residual", obs.LinearBuckets(0, battery/32, 32))
+	for _, e := range residual {
+		//mdglint:ignore unitcheck obs boundary: histogram samples carry raw numbers
+		h.Observe(float64(e))
+	}
+	return h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+}
+
 func run() error {
 	var (
 		netPath = flag.String("net", "-", "deployment JSON (wsngen output), or - for stdin")
@@ -134,7 +149,7 @@ func run() error {
 
 	fmt.Printf("network: %v, battery %.3f J\n\n", nw, *battery)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "scheme\tlifetime(rounds)\tcoverage\tround latency(s)\ttour(m)\tresidual std(J)")
+	fmt.Fprintln(tw, "scheme\tlifetime(rounds)\tcoverage\tround latency(s)\ttour(m)\tresidual std(J)\tresidual p50/p90/p99(J)")
 	for _, s := range schemes {
 		res, err := sim.RunLifetimeObs(s, nw.N(), model, *horizon, tr)
 		if err != nil {
@@ -151,8 +166,9 @@ func run() error {
 		if !res.Died {
 			life = fmt.Sprintf(">%d", res.Rounds)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%.1f\t%.5f\n",
-			s.Name(), life, s.Coverage(), lat.Seconds, lat.TourM, res.Residual.Std)
+		p50, p90, p99 := residualPercentiles(res.Ledger.Residual, *battery)
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%.1f\t%.5f\t%.5f/%.5f/%.5f\n",
+			s.Name(), life, s.Coverage(), lat.Seconds, lat.TourM, res.Residual.Std, p50, p90, p99)
 	}
 	if err := tw.Flush(); err != nil {
 		return err

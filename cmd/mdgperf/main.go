@@ -1,0 +1,142 @@
+// mdgperf is the performance ratchet: it runs the planner benchmark
+// suite (the same measurement behind `mdgbench -bench-out`) and
+// compares it against the committed PERF_baseline.json under a
+// noise-aware policy — deterministic quality fields and span counts
+// bit-exact, allocs_per_op exact in the regression direction, phase
+// wall times and bytes within tolerance bands.
+//
+// Usage:
+//
+//	mdgperf                          compare a fresh run against PERF_baseline.json
+//	mdgperf -k 3                     median of 3 fresh runs (sheds scheduler spikes)
+//	mdgperf -update                  regenerate the baseline from a fresh run
+//	mdgperf -current run.json        compare a pre-recorded artifact instead of running
+//	mdgperf -phase-tol 3.0           loosen the wall-time band (CI runners are noisy)
+//
+// Exit codes, matching mdgcov/mdgescape: 0 pass, 1 regression, 2
+// missing baseline or operational error.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+
+	"mobicol/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		baselinePath = flag.String("baseline", "PERF_baseline.json", "committed baseline artifact")
+		update       = flag.Bool("update", false, "regenerate the baseline from the current measurement instead of comparing")
+		currentPath  = flag.String("current", "", "compare this pre-recorded artifact instead of running the benchmark")
+		k            = flag.Int("k", 1, "fresh runs to take the median of")
+		trials       = flag.Int("trials", 5, "trials per algorithm (must match the baseline)")
+		seed         = flag.Uint64("seed", 1, "base deployment seed (must match the baseline)")
+		n            = flag.Int("n", 100, "sensors per deployment (must match the baseline)")
+		workers      = flag.Int("workers", 1, "worker pool size for the measurement run (0 = one per CPU)")
+		phaseTol     = flag.Float64("phase-tol", 0, "relative phase_ns tolerance (0 = default 0.5)")
+		bytesTol     = flag.Float64("bytes-tol", 0, "relative bytes_per_op tolerance (0 = default 0.2)")
+		noiseNs      = flag.Int64("noise-ns", -1, "absolute per-phase slack in ns (-1 = default 5ms)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mdgperf [flags]\n\nRatchets the planner benchmark against %s.\n", *baselinePath)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	pol := bench.DefaultPerfPolicy()
+	if *phaseTol > 0 {
+		pol.PhaseTol = *phaseTol
+	}
+	if *bytesTol > 0 {
+		pol.BytesTol = *bytesTol
+	}
+	if *noiseNs >= 0 {
+		pol.MinPhaseNs = *noiseNs
+	}
+
+	cur, err := measure(*currentPath, *k, bench.Config{Trials: *trials, Seed: *seed, BenchN: *n, Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdgperf:", err)
+		return 2
+	}
+
+	if *update {
+		if err := writeArtifact(*baselinePath, cur); err != nil {
+			fmt.Fprintln(os.Stderr, "mdgperf:", err)
+			return 2
+		}
+		fmt.Printf("mdgperf: wrote baseline for %d algorithm(s) to %s\n", len(cur.Algos), *baselinePath)
+		return 0
+	}
+
+	base, err := readArtifact(*baselinePath)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "mdgperf: no baseline at %s (run mdgperf -update to create it)\n", *baselinePath)
+		} else {
+			fmt.Fprintln(os.Stderr, "mdgperf:", err)
+		}
+		return 2
+	}
+
+	if bad := bench.ComparePerf(base, cur, pol); len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Fprintf(os.Stderr, "mdgperf: %s\n", b)
+		}
+		fmt.Fprintf(os.Stderr, "mdgperf: %d regression(s) against %s\n", len(bad), *baselinePath)
+		return 1
+	}
+	fmt.Printf("mdgperf: %d algorithm(s) hold against %s\n", len(cur.Algos), *baselinePath)
+	return 0
+}
+
+// measure obtains the current result: a pre-recorded artifact when
+// -current is set, otherwise the median of k fresh benchmark runs.
+func measure(currentPath string, k int, cfg bench.Config) (*bench.PlannerBenchResult, error) {
+	if currentPath != "" {
+		return readArtifact(currentPath)
+	}
+	if k < 1 {
+		k = 1
+	}
+	runs := make([]*bench.PlannerBenchResult, 0, k)
+	for i := 0; i < k; i++ {
+		res, err := bench.PlannerBenchmarks(cfg)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, res)
+	}
+	return bench.MedianPerf(runs)
+}
+
+func readArtifact(path string) (*bench.PlannerBenchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	//mdglint:ignore errcheck input file is read-only; a close failure cannot lose data
+	defer f.Close()
+	return bench.ReadPlannerBench(f)
+}
+
+func writeArtifact(path string, res *bench.PlannerBenchResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteBenchResult(f, res); err != nil {
+		_ = f.Close() // already failing; the write error is the one to report
+		return err
+	}
+	// Close errors on the output file are real data loss: report them.
+	return f.Close()
+}

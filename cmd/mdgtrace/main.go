@@ -1,0 +1,155 @@
+// mdgtrace reads the JSONL traces written by the -trace flag of the
+// planning and simulation tools and answers questions about them:
+//
+//	mdgtrace summary trace.jsonl           per-phase aggregates + metric tail
+//	mdgtrace tree trace.jsonl              reconstructed span tree
+//	mdgtrace folded trace.jsonl            folded stacks (flamegraph input)
+//	mdgtrace diff a.jsonl b.jsonl          canonical A/B comparison
+//
+// summary and tree print only deterministic content by default — phase
+// names, counts, span structure, fields, and metric values, all derived
+// from the algorithm's own state — so their output is byte-identical
+// across same-seed runs. The -timing flag adds the wall-clock columns
+// (total, self, duration), which naturally vary between runs. folded is
+// always timing-bearing: its stack weights are nanoseconds of self time.
+//
+// diff canonicalises both traces (wall-clock keys stripped, remaining
+// keys sorted) and exits 0 when they are semantically identical, 1 at
+// the first divergence, 2 on usage or read errors — the same exit-code
+// contract as the repo's other gates, so it slots into CI as a
+// determinism check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mobicol/internal/obs/analyze"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `usage: mdgtrace <command> [flags] <trace.jsonl>...
+
+commands:
+  summary [-timing] <trace.jsonl>   per-phase aggregates and metric tail
+  tree    [-timing] <trace.jsonl>   reconstructed span tree
+  folded  <trace.jsonl>             folded stacks, weighted by self time (ns)
+  diff    <a.jsonl> <b.jsonl>       compare canonicalised traces; exit 1 on divergence
+
+"-" reads the trace from stdin.
+`)
+}
+
+func run(args []string, out io.Writer) int {
+	if len(args) == 0 {
+		usage(os.Stderr)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "summary", "tree", "folded":
+		fs := flag.NewFlagSet("mdgtrace "+cmd, flag.ContinueOnError)
+		timing := false
+		if cmd != "folded" {
+			fs.BoolVar(&timing, "timing", false, "include wall-clock columns (non-deterministic across runs)")
+		}
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		if fs.NArg() != 1 {
+			fmt.Fprintf(os.Stderr, "mdgtrace %s: want exactly one trace file\n", cmd)
+			return 2
+		}
+		tr, err := parseFile(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdgtrace:", err)
+			return 2
+		}
+		switch cmd {
+		case "summary":
+			err = writeSummary(out, tr, timing)
+		case "tree":
+			err = writeTree(out, tr, timing)
+		case "folded":
+			err = analyze.WriteFolded(out, tr)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdgtrace:", err)
+			return 2
+		}
+		return 0
+	case "diff":
+		return runDiff(rest, out)
+	case "-h", "-help", "--help", "help":
+		usage(out)
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "mdgtrace: unknown command %q\n", cmd)
+		usage(os.Stderr)
+		return 2
+	}
+}
+
+func runDiff(rest []string, out io.Writer) int {
+	if len(rest) != 2 {
+		fmt.Fprintln(os.Stderr, "mdgtrace diff: want exactly two trace files")
+		return 2
+	}
+	a, err := openArg(rest[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdgtrace:", err)
+		return 2
+	}
+	//mdglint:ignore errcheck input file is read-only; a close failure cannot lose data
+	defer a.Close()
+	b, err := openArg(rest[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdgtrace:", err)
+		return 2
+	}
+	//mdglint:ignore errcheck input file is read-only; a close failure cannot lose data
+	defer b.Close()
+	res, err := analyze.Diff(a, b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdgtrace:", err)
+		return 2
+	}
+	if res.Equal {
+		fmt.Fprintf(out, "identical: %d canonical lines\n", res.ALines)
+		return 0
+	}
+	fmt.Fprintf(out, "traces diverge at canonical line %d (%d vs %d lines):\n", res.Line, res.ALines, res.BLines)
+	fmt.Fprintf(out, "  a: %s\n", orMissing(res.A))
+	fmt.Fprintf(out, "  b: %s\n", orMissing(res.B))
+	return 1
+}
+
+func orMissing(line string) string {
+	if line == "" {
+		return "<end of trace>"
+	}
+	return line
+}
+
+func openArg(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
+func parseFile(path string) (*analyze.Trace, error) {
+	r, err := openArg(path)
+	if err != nil {
+		return nil, err
+	}
+	//mdglint:ignore errcheck input file is read-only; a close failure cannot lose data
+	defer r.Close()
+	return analyze.Parse(r)
+}

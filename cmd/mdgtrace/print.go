@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"mobicol/internal/obs/analyze"
+)
+
+// writeSummary prints the per-phase table followed by the metric tail.
+// Without -timing every printed byte is deterministic content; with it,
+// total/self wall-clock columns are appended.
+func writeSummary(w io.Writer, tr *analyze.Trace, timing bool) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	if timing {
+		fmt.Fprintln(tw, "phase\tcount\ttotal_ns\tself_ns")
+	} else {
+		fmt.Fprintln(tw, "phase\tcount")
+	}
+	for _, st := range tr.PhaseStats() {
+		if timing {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", st.Name, st.Count, st.TotalNs, st.SelfNs)
+		} else {
+			fmt.Fprintf(tw, "%s\t%d\n", st.Name, st.Count)
+		}
+	}
+	if len(tr.Metrics) > 0 {
+		fmt.Fprintln(tw, "\nmetric\ttype\tvalue")
+		for _, m := range tr.Metrics {
+			switch m.Type {
+			case "hist":
+				fmt.Fprintf(tw, "%s\t%s\tcount=%d sum=%v\n", m.Name, m.Type, m.Count, m.Sum)
+			default:
+				fmt.Fprintf(tw, "%s\t%s\t%s\n", m.Name, m.Type, m.Value)
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// writeTree prints the reconstructed span tree, two spaces of indent
+// per level, fields inline in sorted key order.
+func writeTree(w io.Writer, tr *analyze.Trace, timing bool) error {
+	var err error
+	var walk func(s *analyze.Span, depth int)
+	walk = func(s *analyze.Span, depth int) {
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		for i := 0; i < depth; i++ {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%s id=%d", s.Name, s.ID)
+		for _, f := range s.Fields {
+			fmt.Fprintf(&sb, " %s=%s", f.Key, f.Value)
+		}
+		if timing {
+			fmt.Fprintf(&sb, " dur_ns=%d", s.DurNs)
+		}
+		_, err = fmt.Fprintln(w, sb.String())
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range tr.Roots {
+		walk(r, 0)
+	}
+	return err
+}

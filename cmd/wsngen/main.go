@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"os"
 
+	"mobicol/internal/obs"
+	"mobicol/internal/obs/report"
 	"mobicol/internal/obstacle"
 	"mobicol/internal/wsn"
 )
@@ -27,6 +29,8 @@ func main() {
 		clusters  = flag.Int("clusters", 5, "cluster count for -placement clustered")
 		corner    = flag.Bool("sink-corner", false, "place the sink at the field corner instead of the centre")
 		obstPath  = flag.String("obstacles", "", "obstacle course JSON; sensors deploy outside the obstacles")
+		trace     = flag.String("trace", "", "write a JSONL span/metric trace to this path")
+		metrics   = flag.Bool("metrics", false, "print a span/metric summary table to stderr")
 		out       = flag.String("o", "-", "output path, or - for stdout")
 	)
 	flag.Parse()
@@ -51,54 +55,81 @@ func main() {
 		N: *n, FieldSide: *side, Range: *rng, Seed: *seed,
 		Placement: pl, Clusters: *clusters, SinkAtCorner: *corner,
 	}
-	var nw *wsn.Network
-	var err error
-	if *obstPath != "" {
-		f, err := os.Open(*obstPath)
-		if err != nil {
+	if err := run(cfg, *placement, *obstPath, *trace, *metrics, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "wsngen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg wsn.Config, placement, obstPath, trace string, metrics bool, out string) error {
+	tr, finishTrace, err := obs.CLITrace(trace, metrics)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := finishTrace(); err != nil {
 			fmt.Fprintf(os.Stderr, "wsngen: %v\n", err)
-			os.Exit(1)
+		}
+		if metrics {
+			if err := report.Write(os.Stderr, tr); err != nil {
+				fmt.Fprintf(os.Stderr, "wsngen: %v\n", err)
+			}
+		}
+	}()
+
+	sp := tr.Start("deploy")
+	defer sp.End()
+	sp.SetInt("n", int64(cfg.N))
+	sp.SetInt("seed", int64(cfg.Seed))
+	sp.SetStr("placement", placement)
+
+	var nw *wsn.Network
+	if obstPath != "" {
+		f, err := os.Open(obstPath)
+		if err != nil {
+			return err
 		}
 		course, err := obstacle.ReadJSON(f)
 		// The file was only read; a close failure cannot lose data.
 		_ = f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "wsngen: %v\n", err)
-			os.Exit(1)
+			return err
 		}
+		sp.SetInt("obstacles", int64(len(course.Obstacles)))
 		nw, err = obstacle.DeployAround(cfg, course)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "wsngen: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	} else {
 		nw, err = wsn.Deploy(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "wsngen: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
+	components := len(nw.Components())
+	sp.SetInt("components", int64(components))
+	sp.Gauge("wsn.avg_degree", nw.AvgDegree())
+	sp.Gauge("wsn.side_m", cfg.FieldSide)
+	sp.End()
 
 	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
+	if out != "-" {
+		f, err := os.Create(out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "wsngen: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		w = f
 	}
 	if err := nw.WriteJSON(w); err != nil {
-		fmt.Fprintf(os.Stderr, "wsngen: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	if w != os.Stdout {
 		// Close errors on the output file are real data loss: report them.
 		if err := w.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "wsngen: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	fmt.Fprintf(os.Stderr, "wsngen: %v, avg degree %.1f, %d component(s)\n",
-		nw, nw.AvgDegree(), len(nw.Components()))
+		nw, nw.AvgDegree(), components)
+	return nil
 }

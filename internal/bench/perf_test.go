@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// basePerf builds a baseline-shaped result for the comparison tests.
+func basePerf() *PlannerBenchResult {
+	return &PlannerBenchResult{
+		Schema: PlannerBenchSchema,
+		Trials: 5, Seed: 1, N: 100, SideM: 200, RangeM: 30,
+		Meta: PlannerBenchMeta{Workers: 1, TrialsPerPhase: 5},
+		Algos: []PlannerAlgoBench{{
+			Algo:        "shdg",
+			MeanTourM:   779.4097257411898,
+			MeanStops:   18,
+			PhaseNs:     map[string]int64{"plan": 2_000_000, "tsp": 700_000},
+			Spans:       map[string]int{"plan": 5, "tsp": 5},
+			AllocsPerOp: 1000, BytesPerOp: 50_000,
+		}},
+	}
+}
+
+// clonePerf deep-copies a result so tests can perturb one side.
+func clonePerf(r *PlannerBenchResult) *PlannerBenchResult {
+	out := *r
+	out.Algos = make([]PlannerAlgoBench, len(r.Algos))
+	for i, a := range r.Algos {
+		row := a
+		row.PhaseNs = map[string]int64{}
+		for k, v := range a.PhaseNs {
+			row.PhaseNs[k] = v
+		}
+		row.Spans = map[string]int{}
+		for k, v := range a.Spans {
+			row.Spans[k] = v
+		}
+		out.Algos[i] = row
+	}
+	return &out
+}
+
+func assertViolation(t *testing.T, bad []string, want string) {
+	t.Helper()
+	for _, b := range bad {
+		if strings.Contains(b, want) {
+			return
+		}
+	}
+	t.Errorf("no violation mentioning %q in %v", want, bad)
+}
+
+func TestComparePerfClean(t *testing.T) {
+	pol := DefaultPerfPolicy()
+	cur := clonePerf(basePerf())
+	// Noise inside the bands must pass: +40% wall, +10% bytes, fewer allocs.
+	cur.Algos[0].PhaseNs["plan"] = 2_800_000
+	cur.Algos[0].BytesPerOp = 55_000
+	cur.Algos[0].AllocsPerOp = 900
+	if bad := ComparePerf(basePerf(), cur, pol); len(bad) != 0 {
+		t.Fatalf("in-band run flagged: %v", bad)
+	}
+}
+
+func TestComparePerfViolations(t *testing.T) {
+	pol := DefaultPerfPolicy()
+	base := basePerf()
+
+	cur := clonePerf(base)
+	cur.Algos[0].PhaseNs["plan"] = 100_000_000
+	assertViolation(t, ComparePerf(base, cur, pol), `phase "plan"`)
+
+	cur = clonePerf(base)
+	cur.Algos[0].AllocsPerOp = 1001 // any increase trips the exact gate
+	assertViolation(t, ComparePerf(base, cur, pol), "allocs_per_op")
+
+	cur = clonePerf(base)
+	cur.Algos[0].BytesPerOp = 100_000
+	assertViolation(t, ComparePerf(base, cur, pol), "bytes_per_op")
+
+	cur = clonePerf(base)
+	cur.Algos[0].MeanTourM += 1e-9 // bit-identical or bust
+	assertViolation(t, ComparePerf(base, cur, pol), "mean_tour_m")
+
+	cur = clonePerf(base)
+	cur.Algos[0].Spans["tsp"] = 6
+	assertViolation(t, ComparePerf(base, cur, pol), "span count")
+
+	cur = clonePerf(base)
+	delete(cur.Algos[0].PhaseNs, "tsp")
+	assertViolation(t, ComparePerf(base, cur, pol), "missing")
+
+	cur = clonePerf(base)
+	cur.Algos[0].Algo = "renamed"
+	assertViolation(t, ComparePerf(base, cur, pol), "algorithm missing")
+
+	cur = clonePerf(base)
+	cur.Seed = 2
+	bad := ComparePerf(base, cur, pol)
+	if len(bad) != 1 {
+		t.Fatalf("config mismatch must short-circuit, got %v", bad)
+	}
+	assertViolation(t, bad, "config mismatch")
+}
+
+func TestComparePerfNoiseFloor(t *testing.T) {
+	// A 1000ns phase tripling is still far under the absolute slack:
+	// tiny phases must be judged on the absolute scale.
+	base := basePerf()
+	base.Algos[0].PhaseNs["tiny"] = 1000
+	base.Algos[0].Spans["tiny"] = 5
+	cur := clonePerf(base)
+	cur.Algos[0].PhaseNs["tiny"] = 3000
+	if bad := ComparePerf(base, cur, DefaultPerfPolicy()); len(bad) != 0 {
+		t.Fatalf("sub-slack phase growth flagged: %v", bad)
+	}
+}
+
+func TestMedianPerf(t *testing.T) {
+	runs := []*PlannerBenchResult{clonePerf(basePerf()), clonePerf(basePerf()), clonePerf(basePerf())}
+	runs[0].Algos[0].PhaseNs["plan"] = 9_000_000 // spike
+	runs[1].Algos[0].PhaseNs["plan"] = 2_000_000
+	runs[2].Algos[0].PhaseNs["plan"] = 2_100_000
+	runs[0].Algos[0].AllocsPerOp = 1000
+	runs[1].Algos[0].AllocsPerOp = 1002
+	runs[2].Algos[0].AllocsPerOp = 1001
+	med, err := MedianPerf(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := med.Algos[0].PhaseNs["plan"]; got != 2_100_000 {
+		t.Errorf("median plan = %d, want 2100000 (spike must not survive)", got)
+	}
+	if got := med.Algos[0].AllocsPerOp; got != 1001 {
+		t.Errorf("median allocs = %d, want 1001", got)
+	}
+	if med.Algos[0].MeanTourM != basePerf().Algos[0].MeanTourM {
+		t.Errorf("deterministic fields must pass through untouched")
+	}
+
+	if _, err := MedianPerf(nil); err == nil {
+		t.Error("MedianPerf(nil) must error")
+	}
+	mixed := []*PlannerBenchResult{clonePerf(basePerf()), clonePerf(basePerf())}
+	mixed[1].Seed = 9
+	if _, err := MedianPerf(mixed); err == nil {
+		t.Error("MedianPerf over mixed configurations must error")
+	}
+}
+
+func TestReadPlannerBenchSchemaGate(t *testing.T) {
+	v1 := `{"schema":"mobicol/bench-planner/v1","trials":5}`
+	if _, err := ReadPlannerBench(strings.NewReader(v1)); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("v1 artifact must be rejected with a schema error, got %v", err)
+	}
+	v2 := `{"schema":"mobicol/bench-planner/v2","trials":5,"seed":1,"n":100,"meta":{"workers":1,"trials_per_phase":5},"algos":[]}`
+	res, err := ReadPlannerBench(strings.NewReader(v2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Meta.Workers != 1 || res.Meta.TrialsPerPhase != 5 {
+		t.Errorf("meta not decoded: %+v", res.Meta)
+	}
+	if _, err := ReadPlannerBench(strings.NewReader("not json")); err == nil {
+		t.Error("garbage artifact must error")
+	}
+}

@@ -39,8 +39,22 @@ type PlannerAlgoBench struct {
 	BytesPerOp  uint64 `json:"bytes_per_op"`
 }
 
+// PlannerBenchMeta is the run-metadata block added in schema v2: how
+// the harness was fanned out when the numbers were taken. Workers is
+// the effective pool size (resolved from Config.Workers, so a <= 0
+// config records the actual CPU-count fan-out); TrialsPerPhase is the
+// number of trials folded into each phase_ns/spans row. Neither affects
+// the quality fields — mean_tour_m and mean_stops are identical for
+// every pool size — but phase times are only comparable between runs
+// with the same metadata.
+type PlannerBenchMeta struct {
+	Workers        int `json:"workers"`
+	TrialsPerPhase int `json:"trials_per_phase"`
+}
+
 // PlannerBenchResult is the schema of BENCH_planner.json: per-algorithm
 // tour quality plus per-phase planning cost on a fixed instance family.
+// Schema history: v1 had no meta block; v2 added it (PlannerBenchMeta).
 type PlannerBenchResult struct {
 	Schema string             `json:"schema"`
 	Trials int                `json:"trials"`
@@ -48,8 +62,12 @@ type PlannerBenchResult struct {
 	N      int                `json:"n"`
 	SideM  float64            `json:"side_m"`
 	RangeM float64            `json:"range_m"`
+	Meta   PlannerBenchMeta   `json:"meta"`
 	Algos  []PlannerAlgoBench `json:"algos"`
 }
+
+// PlannerBenchSchema is the current BENCH_planner.json schema tag.
+const PlannerBenchSchema = "mobicol/bench-planner/v2"
 
 // PlannerBenchmarks measures the planners cfg.Trials times on the
 // standard deployment family (cfg.BenchN sensors, default 100, with the
@@ -61,12 +79,16 @@ func PlannerBenchmarks(cfg Config) (*PlannerBenchResult, error) {
 	side := 200.0 * math.Sqrt(float64(n)/100.0)
 	const rng = 30.0
 	res := &PlannerBenchResult{
-		Schema: "mobicol/bench-planner/v1",
+		Schema: PlannerBenchSchema,
 		Trials: cfg.trials(),
 		Seed:   cfg.Seed,
 		N:      n,
 		SideM:  side,
 		RangeM: rng,
+		Meta: PlannerBenchMeta{
+			Workers:        cfg.pool().Size(),
+			TrialsPerPhase: cfg.trials(),
+		},
 	}
 	type algoRun struct {
 		name string
@@ -197,6 +219,12 @@ func WritePlannerBench(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
+	return WriteBenchResult(w, res)
+}
+
+// WriteBenchResult encodes one planner benchmark result in the artifact
+// format (indented JSON, trailing newline).
+func WriteBenchResult(w io.Writer, res *PlannerBenchResult) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(res)

@@ -33,14 +33,6 @@ const (
 	allowAllocPrefix = "//mdglint:allow-alloc"
 )
 
-// allocExemptPkg reports whether hotness propagation skips the package:
-// internal/obs is the tracing layer — nil spans are allocation-free
-// no-ops and tracing is off in steady state, so its internals are not
-// hot-path allocations.
-func allocExemptPkg(importPath string) bool {
-	return strings.HasSuffix(importPath, "internal/obs")
-}
-
 // Module is the whole-module context shared by the interprocedural
 // analyzers.
 type Module struct {
@@ -80,10 +72,8 @@ func NewModule(pkgs []*Package) *Module {
 		}
 	}
 	m.hot = m.Graph.Reachable(m.hotRoots, func(n *callgraph.Node) bool {
-		if _, allowed := m.allowFuncs[n]; allowed {
-			return true
-		}
-		return allocExemptPkg(n.PkgPath)
+		_, allowed := m.allowFuncs[n]
+		return allowed
 	})
 	return m
 }

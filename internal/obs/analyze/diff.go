@@ -1,0 +1,83 @@
+package analyze
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"mobicol/internal/obs"
+)
+
+// DiffResult reports how two canonicalised traces compare. When Equal
+// is false, Line is the 1-based index of the first diverging canonical
+// line and A/B hold that line from each side ("" when one trace simply
+// ended first).
+type DiffResult struct {
+	Equal  bool
+	Line   int
+	A, B   string
+	ALines int // canonical line counts per side
+	BLines int
+}
+
+// Diff compares two traces after canonicalisation (obs.CanonicalLine:
+// wall-clock keys stripped, remaining keys sorted), so two recordings
+// of the same seeded run compare equal and any semantic divergence —
+// different span structure, ids, fields, or metric values — is caught
+// at its first line.
+func Diff(a, b io.Reader) (DiffResult, error) {
+	al, err := canonicalLines(a)
+	if err != nil {
+		return DiffResult{}, fmt.Errorf("analyze: diff side A: %w", err)
+	}
+	bl, err := canonicalLines(b)
+	if err != nil {
+		return DiffResult{}, fmt.Errorf("analyze: diff side B: %w", err)
+	}
+	res := DiffResult{ALines: len(al), BLines: len(bl)}
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			res.Line = i + 1
+			res.A, res.B = al[i], bl[i]
+			return res, nil
+		}
+	}
+	if len(al) != len(bl) {
+		res.Line = n + 1
+		if len(al) > n {
+			res.A = al[n]
+		}
+		if len(bl) > n {
+			res.B = bl[n]
+		}
+		return res, nil
+	}
+	res.Equal = true
+	return res, nil
+}
+
+// canonicalLines reads a trace and returns its canonical lines in order.
+func canonicalLines(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		c, err := obs.CanonicalLine(sc.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if c != nil {
+			out = append(out, string(c))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

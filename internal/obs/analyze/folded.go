@@ -1,0 +1,47 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteFolded exports the trace in folded-stack format — one
+// "root;child;leaf weight" line per distinct stack, weight in
+// nanoseconds of self time — which is what flamegraph.pl and every
+// speedscope-style viewer consume. Identical stacks (a phase re-entered
+// under the same ancestry) are merged, zero-weight stacks are dropped,
+// and lines are sorted, so the output is a canonical function of the
+// trace.
+func WriteFolded(w io.Writer, t *Trace) error {
+	weights := map[string]int64{}
+	var stack []string
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		stack = append(stack, s.Name)
+		if self := s.SelfNs(); self > 0 {
+			weights[strings.Join(stack, ";")] += self
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+		stack = stack[:len(stack)-1]
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+
+	keys := make([]string, 0, len(weights))
+	//mdglint:ignore determinism stacks are collected and then sorted; output order is map-order independent
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, weights[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -26,6 +26,13 @@ import (
 // removes them. Everything else — including "seq", which is assigned in
 // event order — must be identical across runs, and the cli_test
 // double-run regression test enforces exactly that.
+//
+// Allocation contract: encodeSpan sits on the span-exit hot path, so the
+// encoder appends into a caller-owned scratch buffer (the Trace's line
+// buffer, reused across events) and never reaches for fmt or
+// encoding/json. The strconv Append* family and the local string escaper
+// write in place; at steady state — once the buffer has grown to the
+// largest event — encoding an event allocates nothing.
 
 // TimingKeys returns the JSONL keys that carry wall-clock readings and
 // are therefore excluded from determinism comparisons.
@@ -69,92 +76,147 @@ func CanonicalLine(line []byte) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// jsonlBuf accumulates one hand-ordered JSON object line.
+// jsonlBuf accumulates one hand-ordered JSON object line into a reusable
+// byte slice. reset starts a new line in the same backing array, so a
+// long-lived jsonlBuf stops allocating once it has seen its largest
+// event.
 type jsonlBuf struct {
-	buf   bytes.Buffer
+	buf   []byte
 	first bool
 }
 
-func newLine() *jsonlBuf {
-	b := &jsonlBuf{first: true}
-	b.buf.WriteByte('{')
-	return b
+func (b *jsonlBuf) reset() {
+	//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+	b.buf = append(b.buf[:0], '{')
+	b.first = true
 }
 
 func (b *jsonlBuf) key(k string) {
 	if !b.first {
-		b.buf.WriteByte(',')
+		//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+		b.buf = append(b.buf, ',')
 	}
 	b.first = false
-	b.buf.WriteByte('"')
-	b.buf.WriteString(k) // keys are controlled identifiers; no escaping needed
-	b.buf.WriteString(`":`)
+	//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+	b.buf = append(b.buf, '"')
+	//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+	b.buf = append(b.buf, k...) // keys are controlled identifiers; no escaping needed
+	//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+	b.buf = append(b.buf, '"', ':')
 }
 
 func (b *jsonlBuf) str(k, v string) {
 	b.key(k)
-	vb, err := json.Marshal(v)
-	if err != nil {
-		// Marshalling a string cannot fail; keep the line well-formed anyway.
-		vb = []byte(`""`)
-	}
-	b.buf.Write(vb)
+	b.buf = appendJSONString(b.buf, v)
 }
 
 func (b *jsonlBuf) int(k string, v int64) {
 	b.key(k)
-	b.buf.WriteString(strconv.FormatInt(v, 10))
+	//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+	b.buf = strconv.AppendInt(b.buf, v, 10)
 }
 
 func (b *jsonlBuf) float(k string, v float64) {
 	b.key(k)
-	b.buf.WriteString(formatFloat(v))
+	b.buf = appendJSONFloat(b.buf, v)
 }
 
 func (b *jsonlBuf) floats(k string, vs []float64) {
 	b.key(k)
-	b.buf.WriteByte('[')
+	//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+	b.buf = append(b.buf, '[')
 	for i, v := range vs {
 		if i > 0 {
-			b.buf.WriteByte(',')
+			//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+			b.buf = append(b.buf, ',')
 		}
-		b.buf.WriteString(formatFloat(v))
+		b.buf = appendJSONFloat(b.buf, v)
 	}
-	b.buf.WriteByte(']')
+	//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+	b.buf = append(b.buf, ']')
 }
 
 func (b *jsonlBuf) ints(k string, vs []int64) {
 	b.key(k)
-	b.buf.WriteByte('[')
+	//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+	b.buf = append(b.buf, '[')
 	for i, v := range vs {
 		if i > 0 {
-			b.buf.WriteByte(',')
+			//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+			b.buf = append(b.buf, ',')
 		}
-		b.buf.WriteString(strconv.FormatInt(v, 10))
+		//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+		b.buf = strconv.AppendInt(b.buf, v, 10)
 	}
-	b.buf.WriteByte(']')
+	//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+	b.buf = append(b.buf, ']')
 }
 
+// done closes the object and returns the line. The returned slice
+// aliases the buffer: consume it before the next reset.
 func (b *jsonlBuf) done() []byte {
-	b.buf.WriteString("}\n")
-	return b.buf.Bytes()
+	//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+	b.buf = append(b.buf, '}', '\n')
+	return b.buf
 }
 
-// formatFloat encodes a float deterministically as valid JSON. The
-// shortest round-trip form ('g', -1) is canonical; non-finite values,
-// which JSON cannot carry as numbers, become quoted strings.
-func formatFloat(v float64) string {
-	if math.IsNaN(v) || math.IsInf(v, 0) {
-		return strconv.Quote(strconv.FormatFloat(v, 'g', -1, 64))
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a quoted JSON string, escaping quotes,
+// backslashes and control characters. Span names, field keys and field
+// values are expected to be valid UTF-8 (they are programmer-chosen
+// identifiers); bytes >= 0x20 other than '"' and '\\' pass through
+// unchanged.
+func appendJSONString(dst []byte, s string) []byte {
+	//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+			dst = append(dst, '\\', c)
+		case c >= 0x20:
+			//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+			dst = append(dst, c)
+		case c == '\n':
+			//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+			dst = append(dst, '\\', 'n')
+		case c == '\t':
+			//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+			dst = append(dst, '\\', 't')
+		case c == '\r':
+			//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+			dst = append(dst, '\\', 'r')
+		default:
+			//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+			dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		}
 	}
-	s := strconv.FormatFloat(v, 'g', -1, 64)
-	// 'g' can produce exponent forms like "1e+06", which are valid JSON.
-	return s
+	//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+	return append(dst, '"')
 }
 
-// encodeSpan renders a span-end event.
-func encodeSpan(seq int, s *Span, tNs, durNs int64) []byte {
-	b := newLine()
+// appendJSONFloat appends a float encoded deterministically as valid
+// JSON. The shortest round-trip form ('g', -1) is canonical; non-finite
+// values, which JSON cannot carry as numbers, become quoted strings.
+func appendJSONFloat(dst []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+		dst = append(dst, '"')
+		//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+		dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
+		//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+		return append(dst, '"')
+	}
+	// 'g' can produce exponent forms like "1e+06", which are valid JSON.
+	//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}
+
+// encodeSpan renders a span-end event into b (reset first).
+func encodeSpan(b *jsonlBuf, seq int, s *Span, tNs, durNs int64) []byte {
+	b.reset()
 	b.str("ev", "span")
 	b.int("seq", int64(seq))
 	b.str("span", s.name)
@@ -164,31 +226,29 @@ func encodeSpan(seq int, s *Span, tNs, durNs int64) []byte {
 	}
 	if len(s.fields) > 0 {
 		b.key("fields")
-		b.buf.WriteByte('{')
-		for i, f := range s.fields {
+		//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+		b.buf = append(b.buf, '{')
+		for i := range s.fields {
+			f := &s.fields[i]
 			if i > 0 {
-				b.buf.WriteByte(',')
+				//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+				b.buf = append(b.buf, ',')
 			}
-			kb, err := json.Marshal(f.Key)
-			if err != nil {
-				kb = []byte(`""`)
-			}
-			b.buf.Write(kb)
-			b.buf.WriteByte(':')
+			b.buf = appendJSONString(b.buf, f.Key)
+			//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+			b.buf = append(b.buf, ':')
 			switch f.kind {
 			case fieldInt:
-				b.buf.WriteString(strconv.FormatInt(f.i, 10))
+				//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+				b.buf = strconv.AppendInt(b.buf, f.i, 10)
 			case fieldFloat:
-				b.buf.WriteString(formatFloat(f.f))
+				b.buf = appendJSONFloat(b.buf, f.f)
 			case fieldStr:
-				vb, err := json.Marshal(f.s)
-				if err != nil {
-					vb = []byte(`""`)
-				}
-				b.buf.Write(vb)
+				b.buf = appendJSONString(b.buf, f.s)
 			}
 		}
-		b.buf.WriteByte('}')
+		//mdglint:allow-alloc(append writes into the trace's reused line buffer; growth is amortized)
+		b.buf = append(b.buf, '}')
 	}
 	// Timing keys last, and only here: everything above is deterministic.
 	b.int("t_ns", tNs)
@@ -196,9 +256,9 @@ func encodeSpan(seq int, s *Span, tNs, durNs int64) []byte {
 	return b.done()
 }
 
-// encodeCounter renders one counter metric event.
-func encodeCounter(seq int, c CounterSnap) []byte {
-	b := newLine()
+// encodeCounter renders one counter metric event into b (reset first).
+func encodeCounter(b *jsonlBuf, seq int, c CounterSnap) []byte {
+	b.reset()
 	b.str("ev", "metric")
 	b.int("seq", int64(seq))
 	b.str("metric", c.Name)
@@ -207,9 +267,9 @@ func encodeCounter(seq int, c CounterSnap) []byte {
 	return b.done()
 }
 
-// encodeGauge renders one gauge metric event.
-func encodeGauge(seq int, g GaugeSnap) []byte {
-	b := newLine()
+// encodeGauge renders one gauge metric event into b (reset first).
+func encodeGauge(b *jsonlBuf, seq int, g GaugeSnap) []byte {
+	b.reset()
 	b.str("ev", "metric")
 	b.int("seq", int64(seq))
 	b.str("metric", g.Name)
@@ -218,9 +278,9 @@ func encodeGauge(seq int, g GaugeSnap) []byte {
 	return b.done()
 }
 
-// encodeHist renders one histogram metric event.
-func encodeHist(seq int, h HistSnap) []byte {
-	b := newLine()
+// encodeHist renders one histogram metric event into b (reset first).
+func encodeHist(b *jsonlBuf, seq int, h HistSnap) []byte {
+	b.reset()
 	b.str("ev", "metric")
 	b.int("seq", int64(seq))
 	b.str("metric", h.Name)

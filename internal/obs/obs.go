@@ -21,7 +21,18 @@
 //     their methods are no-ops, so instrumented hot paths pay one
 //     pointer test per call when tracing is off.
 //
-//  3. Stdlib only, like the rest of the module.
+//  3. Zero allocations when enabled, at steady state. Span enter/exit
+//     is on the planners' hot path (//mdglint:hotpath roots below), so
+//     ended spans return to a per-trace free list, field slices and the
+//     JSONL line buffer are reused, and the encoder never touches fmt
+//     or encoding/json. Once the pools have grown, a Start/Child/Set*/
+//     End round trip allocates nothing — pinned by
+//     BenchmarkSpanSteadyState and the alloccheck/escape gates.
+//     The flip side is an ownership rule: a *Span is dead after End —
+//     using it afterwards is a no-op at best and, once the trace has
+//     recycled it, would write into an unrelated span.
+//
+//  4. Stdlib only, like the rest of the module.
 //
 // Typical wiring (see cmd/mdgplan):
 //
@@ -53,6 +64,8 @@ type Trace struct {
 	err    error
 	closed bool
 	agg    map[string]*SpanStat
+	free   []*Span  // recycled spans; top of stack is the hottest
+	line   jsonlBuf // reusable event-encoding buffer (guarded by mu)
 }
 
 // New returns a Trace writing JSONL events to w. A nil w is valid and
@@ -83,6 +96,11 @@ func (t *Trace) Start(name string) *Span {
 	return t.newSpan(name, 0)
 }
 
+// newSpan is the span-enter hot path: it assigns the next id and
+// recycles a span from the free list, allocating only while the pool
+// grows to the trace's maximum concurrent span depth.
+//
+//mdglint:hotpath
 func (t *Trace) newSpan(name string, parent int) *Span {
 	if t == nil {
 		return nil
@@ -90,14 +108,25 @@ func (t *Trace) newSpan(name string, parent int) *Span {
 	t.mu.Lock()
 	t.nextID++
 	id := t.nextID
-	t.mu.Unlock()
-	return &Span{
-		t:      t,
-		name:   name,
-		id:     id,
-		parent: parent,
-		begin:  time.Now(),
+	var s *Span
+	if n := len(t.free); n > 0 {
+		s = t.free[n-1]
+		t.free[n-1] = nil
+		t.free = t.free[:n-1]
 	}
+	t.mu.Unlock()
+	if s == nil {
+		//mdglint:allow-alloc(span pool growth: one allocation per unit of concurrent span depth, recycled forever after)
+		s = &Span{}
+	}
+	s.t = t
+	s.name = name
+	s.id = id
+	s.parent = parent
+	s.fields = s.fields[:0]
+	s.ended = false
+	s.begin = time.Now()
+	return s
 }
 
 // SpanStat is one row of the span summary: how often a span name was
@@ -154,13 +183,13 @@ func (t *Trace) Close() error {
 	t.closed = true
 	snap := t.reg.Snapshot()
 	for _, c := range snap.Counters {
-		t.emitLocked(encodeCounter(t.nextSeqLocked(), c))
+		t.emitLocked(encodeCounter(&t.line, t.nextSeqLocked(), c))
 	}
 	for _, g := range snap.Gauges {
-		t.emitLocked(encodeGauge(t.nextSeqLocked(), g))
+		t.emitLocked(encodeGauge(&t.line, t.nextSeqLocked(), g))
 	}
 	for _, h := range snap.Hists {
-		t.emitLocked(encodeHist(t.nextSeqLocked(), h))
+		t.emitLocked(encodeHist(&t.line, t.nextSeqLocked(), h))
 	}
 	return t.err
 }
@@ -176,11 +205,17 @@ func (t *Trace) emitLocked(line []byte) {
 		return
 	}
 	if _, err := t.w.Write(line); err != nil {
+		//mdglint:allow-alloc(trace write failure path; never taken on a healthy stream)
 		t.err = fmt.Errorf("obs: trace write: %w", err)
 	}
 }
 
-// endSpan records the span's aggregate and emits its event.
+// endSpan is the span-exit hot path: it folds the span's duration into
+// the aggregate, encodes its event into the reused line buffer, and
+// recycles the span. The wall clock is read before taking the lock so
+// contention never inflates a span's own duration.
+//
+//mdglint:hotpath
 func (t *Trace) endSpan(s *Span) {
 	now := time.Now()
 	durNs := now.Sub(s.begin).Nanoseconds()
@@ -189,10 +224,23 @@ func (t *Trace) endSpan(s *Span) {
 	defer t.mu.Unlock()
 	st := t.agg[s.name]
 	if st == nil {
+		//mdglint:allow-alloc(one aggregate row per distinct span name, reused for every later span)
 		st = &SpanStat{Name: s.name}
 		t.agg[s.name] = st
 	}
 	st.Count++
 	st.TotalNs += durNs
-	t.emitLocked(encodeSpan(t.nextSeqLocked(), s, tNs, durNs))
+	if t.w != nil && t.err == nil {
+		t.emitLocked(encodeSpan(&t.line, t.nextSeqLocked(), s, tNs, durNs))
+	} else {
+		// Aggregate-only traces still burn a sequence number per event so
+		// the ids and seqs match a file-backed trace of the same run.
+		t.nextSeqLocked()
+	}
+	// Recycle: drop the trace pointer last so a stale use-after-End is a
+	// nil-receiver no-op until the span is handed out again.
+	s.t = nil
+	s.name = ""
+	//mdglint:allow-alloc(free-list growth is amortized; steady state pops and pushes within retained capacity)
+	t.free = append(t.free, s)
 }

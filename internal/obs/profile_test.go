@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfilesDisabled(t *testing.T) {
+	p, err := StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatalf("no-op Stop: %v", err)
+	}
+	var nilP *Profiles
+	if err := nilP.Stop(); err != nil {
+		t.Fatalf("nil Stop: %v", err)
+	}
+}
+
+func TestProfilesCPUAndMem(t *testing.T) {
+	dir := t.TempDir()
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+	p, err := StartProfiles(cpuPath, memPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some work so the profiles have something to record.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i * i
+	}
+	_ = sink
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpuPath, memPath} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+	// Stop is safe to call again once everything is flushed.
+	if err := p.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+}
+
+func TestProfilesMemOnly(t *testing.T) {
+	memPath := filepath.Join(t.TempDir(), "mem.pprof")
+	p, err := StartProfiles("", memPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(memPath); err != nil || st.Size() == 0 {
+		t.Fatalf("mem-only profile missing or empty: %v", err)
+	}
+}
+
+func TestProfilesBadCPUPath(t *testing.T) {
+	_, err := StartProfiles(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof"), "")
+	if err == nil {
+		t.Fatal("unwritable cpu path must error")
+	}
+}
+
+func TestProfilesBadMemPath(t *testing.T) {
+	p, err := StartProfiles("", filepath.Join(t.TempDir(), "no", "such", "dir", "mem.pprof"))
+	if err != nil {
+		t.Fatal(err) // the mem path is only touched at Stop
+	}
+	if err := p.Stop(); err == nil {
+		t.Fatal("unwritable mem path must surface at Stop")
+	}
+}
+
+func TestProfilesDoubleStartCPUFails(t *testing.T) {
+	dir := t.TempDir()
+	p1, err := StartProfiles(filepath.Join(dir, "a.pprof"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := p1.Stop(); err != nil {
+			t.Errorf("stopping first profile: %v", err)
+		}
+	}()
+	// The runtime allows one CPU profile at a time; the second start must
+	// fail cleanly without breaking the first.
+	if _, err := StartProfiles(filepath.Join(dir, "b.pprof"), ""); err == nil {
+		t.Fatal("second concurrent CPU profile must error")
+	}
+}

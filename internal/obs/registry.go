@@ -35,6 +35,7 @@ func (r *Registry) Counter(name string) *Counter {
 	defer r.mu.Unlock()
 	c := r.counters[name]
 	if c == nil {
+		//mdglint:allow-alloc(one allocation per distinct counter name, reused for every later update)
 		c = &Counter{name: name}
 		r.counters[name] = c
 	}
@@ -50,6 +51,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	g := r.gauges[name]
 	if g == nil {
+		//mdglint:allow-alloc(one allocation per distinct gauge name, reused for every later update)
 		g = &Gauge{name: name}
 		r.gauges[name] = g
 	}
@@ -70,9 +72,12 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		if len(bounds) == 0 {
 			bounds = DefaultBuckets()
 		}
+		//mdglint:allow-alloc(one allocation per distinct histogram name, reused for every later observation)
 		h = &Histogram{
-			name:   name,
+			name: name,
+			//mdglint:allow-alloc(defensive copy of caller bounds, once per histogram)
 			bounds: append([]float64(nil), bounds...),
+			//mdglint:allow-alloc(bucket array sized once per histogram)
 			counts: make([]int64, len(bounds)+1), // +1 overflow bucket
 			min:    math.Inf(1),
 			max:    math.Inf(-1),
@@ -86,6 +91,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 // created without explicit bounds. It suits the package's dimensionless
 // counts (coverage gains, queue depths, improvement moves).
 func DefaultBuckets() []float64 {
+	//mdglint:allow-alloc(ladder is built once per histogram creation, not per observation)
 	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 }
 
@@ -184,6 +190,66 @@ func (h *Histogram) Observe(v float64) {
 	h.max = math.Max(h.max, v)
 	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.counts[idx]++
+}
+
+// Quantile estimates the p-quantile (0 <= p <= 1) of the observations
+// from the bucket counts: linear interpolation inside the bucket that
+// holds the target rank, with the observed min and max as the outer
+// bucket edges, clamped to [Min, Max]. With no observations (or on a
+// nil histogram) it returns NaN. The estimate is exact at p=0 and p=1
+// and within one bucket width elsewhere — the usual histogram-quantile
+// trade-off.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return bucketQuantile(h.bounds, h.counts, h.count, h.min, h.max, p)
+}
+
+// Quantile estimates the p-quantile from the snapshot's buckets, with
+// the same contract as Histogram.Quantile.
+func (s HistSnap) Quantile(p float64) float64 {
+	return bucketQuantile(s.Bounds, s.Counts, s.Count, s.Min, s.Max, p)
+}
+
+// bucketQuantile interpolates the p-quantile from bucketed counts.
+// counts is parallel to bounds plus a trailing overflow cell; min and
+// max bound the outermost buckets.
+func bucketQuantile(bounds []float64, counts []int64, count int64, min, max float64, p float64) float64 {
+	if count == 0 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return min
+	}
+	if p >= 1 {
+		return max
+	}
+	rank := p * float64(count)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := float64(cum)
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		lo := min
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := max
+		if i < len(bounds) {
+			hi = bounds[i]
+		}
+		v := lo + (rank-prev)/float64(c)*(hi-lo)
+		return math.Max(min, math.Min(max, v))
+	}
+	return max // counts summed below count would be a corrupt histogram; max is the safe answer
 }
 
 // Count returns the number of accepted observations (0 on nil).

@@ -122,3 +122,73 @@ func TestSnapshotSorted(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramQuantileContract pins the quantile semantics: NaN when
+// empty, exact at p=0/p=1 (the observed extremes), linear interpolation
+// inside a bucket, and clamping into [Min, Max].
+func TestHistogramQuantileContract(t *testing.T) {
+	r := NewRegistry()
+	empty := r.Histogram("empty", []float64{1})
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty histogram quantile must be NaN")
+	}
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Error("nil histogram quantile must be NaN")
+	}
+
+	// 100 uniform samples 1..100 over bounds 10,20,...,100: each bucket
+	// holds exactly 10 samples, so quantiles interpolate almost exactly.
+	h := r.Histogram("u", LinearBuckets(10, 10, 10))
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("p0 = %v, want observed min 1", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("p1 = %v, want observed max 100", got)
+	}
+	for _, tc := range []struct{ p, want, tol float64 }{
+		{0.50, 50, 2}, {0.90, 90, 2}, {0.99, 99, 2}, {0.25, 25, 2},
+	} {
+		if got := h.Quantile(tc.p); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("p%g = %v, want %v +/- %v", tc.p*100, got, tc.want, tc.tol)
+		}
+	}
+	if !math.IsNaN(h.Quantile(math.NaN())) {
+		t.Error("NaN p must yield NaN")
+	}
+
+	// The snapshot view must agree with the live view.
+	snap := r.Snapshot()
+	for _, s := range snap.Hists {
+		if s.Name != "u" {
+			continue
+		}
+		if live, fromSnap := h.Quantile(0.9), s.Quantile(0.9); live != fromSnap {
+			t.Errorf("live %v vs snapshot %v quantile disagree", live, fromSnap)
+		}
+	}
+}
+
+// TestHistogramQuantileClamped: a single-bucket histogram cannot
+// resolve ranks, but its estimates must stay inside [Min, Max].
+func TestHistogramQuantileClamped(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("one", []float64{1000})
+	h.Observe(5)
+	h.Observe(7)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		if got := h.Quantile(p); got < 5 || got > 7 {
+			t.Errorf("p%g = %v, outside observed [5, 7]", p*100, got)
+		}
+	}
+	// Overflow-only data: the top bucket's edges are (last bound, Max].
+	o := r.Histogram("over", []float64{1})
+	o.Observe(50)
+	o.Observe(150)
+	if got := o.Quantile(0.5); got < 50 || got > 150 {
+		t.Errorf("overflow p50 = %v, outside observed [50, 150]", got)
+	}
+}

@@ -41,7 +41,9 @@ func Write(w io.Writer, tr *obs.Trace) error {
 		for _, h := range snap.Hists {
 			detail := ""
 			if h.Count > 0 {
-				detail = fmt.Sprintf("mean %.3g min %.3g max %.3g", h.Sum/float64(h.Count), h.Min, h.Max)
+				detail = fmt.Sprintf("mean %.3g min %.3g max %.3g p50 %.3g p90 %.3g p99 %.3g",
+					h.Sum/float64(h.Count), h.Min, h.Max,
+					h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
 			}
 			fmt.Fprintf(tw, "%s\thist\tn=%d\t%s\n", h.Name, h.Count, detail)
 		}

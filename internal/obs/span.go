@@ -10,6 +10,11 @@ import "time"
 // A span's id and parent id are assigned in Start order; because the
 // instrumented algorithms are deterministic, the ids — unlike the
 // timestamps — are part of the deterministic event content.
+//
+// Ownership: End returns the span to its trace's free list, so a span
+// must not be touched after End. Methods on an ended span are no-ops
+// until the trace recycles it, which keeps the common
+// defer-End-then-fall-out-of-scope pattern safe.
 type Span struct {
 	t      *Trace
 	name   string
@@ -41,7 +46,7 @@ type Field struct {
 
 // Child opens a sub-span under s.
 func (s *Span) Child(name string) *Span {
-	if s == nil {
+	if s == nil || s.ended {
 		return nil
 	}
 	return s.t.newSpan(name, s.id)
@@ -49,32 +54,35 @@ func (s *Span) Child(name string) *Span {
 
 // SetInt attaches an integer field (deterministic event content).
 func (s *Span) SetInt(key string, v int64) {
-	if s == nil {
+	if s == nil || s.ended {
 		return
 	}
+	//mdglint:allow-alloc(field-slice growth is amortized; recycled spans keep their capacity)
 	s.fields = append(s.fields, Field{Key: key, kind: fieldInt, i: v})
 }
 
 // SetFloat attaches a float field (deterministic event content; encoded
 // with the shortest round-trip representation).
 func (s *Span) SetFloat(key string, v float64) {
-	if s == nil {
+	if s == nil || s.ended {
 		return
 	}
+	//mdglint:allow-alloc(field-slice growth is amortized; recycled spans keep their capacity)
 	s.fields = append(s.fields, Field{Key: key, kind: fieldFloat, f: v})
 }
 
 // SetStr attaches a string field.
 func (s *Span) SetStr(key, v string) {
-	if s == nil {
+	if s == nil || s.ended {
 		return
 	}
+	//mdglint:allow-alloc(field-slice growth is amortized; recycled spans keep their capacity)
 	s.fields = append(s.fields, Field{Key: key, kind: fieldStr, s: v})
 }
 
 // Count adds delta to the named counter in the trace's registry.
 func (s *Span) Count(name string, delta int64) {
-	if s == nil {
+	if s == nil || s.ended {
 		return
 	}
 	s.t.Registry().Counter(name).Add(delta)
@@ -82,7 +90,7 @@ func (s *Span) Count(name string, delta int64) {
 
 // Gauge sets the named gauge in the trace's registry.
 func (s *Span) Gauge(name string, v float64) {
-	if s == nil {
+	if s == nil || s.ended {
 		return
 	}
 	s.t.Registry().Gauge(name).Set(v)
@@ -91,14 +99,15 @@ func (s *Span) Gauge(name string, v float64) {
 // Observe records v into the named histogram in the trace's registry
 // (created with default buckets on first use).
 func (s *Span) Observe(name string, v float64) {
-	if s == nil {
+	if s == nil || s.ended {
 		return
 	}
 	s.t.Registry().Histogram(name, nil).Observe(v)
 }
 
-// End closes the span, aggregates its duration, and emits its event.
-// Ending twice (or ending a nil span) is a no-op.
+// End closes the span, aggregates its duration, emits its event, and
+// recycles the span into the trace's free list. Ending twice (or ending
+// a nil span) is a no-op; no method may be called on a span after End.
 func (s *Span) End() {
 	if s == nil || s.ended {
 		return
