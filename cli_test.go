@@ -205,11 +205,11 @@ func TestCLIBenchArtifact(t *testing.T) {
 	if err := json.Unmarshal(raw, &res); err != nil {
 		t.Fatalf("bench artifact not JSON: %v", err)
 	}
-	if res.Schema != "mobicol/bench-planner/v2" || len(res.Algos) != 3 {
+	if res.Schema != "mobicol/bench-planner/v3" || len(res.Algos) != 3 {
 		t.Fatalf("bench artifact = %+v", res)
 	}
 	if res.Meta.Workers < 1 || res.Meta.TrialsPerPhase != 1 {
-		t.Fatalf("bench artifact v2 meta = %+v", res.Meta)
+		t.Fatalf("bench artifact v3 meta = %+v", res.Meta)
 	}
 	if _, ok := res.Algos[0].PhaseNs["plan"]; !ok {
 		t.Fatalf("shdg row missing plan phase: %+v", res.Algos[0])

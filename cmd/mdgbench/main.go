@@ -10,6 +10,9 @@
 //	mdgbench -e E2 -csv    # machine-readable output for plotting
 //	mdgbench -e none -bench-out BENCH_planner.json
 //	                       # refresh the planner benchmark artifact only
+//	mdgbench -e none -bench-out BENCH_planner.json -scale default -warm-start
+//	                       # include the n=10k/100k scale rows with
+//	                       # warm-start repair columns
 package main
 
 import (
@@ -31,12 +34,22 @@ func main() {
 		benchN   = flag.Int("bench-n", 0, "deployment size for the -bench-out planner benchmark (0 = default 100; field side scales to hold density)")
 		asCSV    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		benchOut = flag.String("bench-out", "", "write the planner benchmark (per-algo tour + per-phase durations) as JSON to this path")
+		scale    = flag.String("scale", "", "comma-separated large-n sizes for single-trial scale rows in -bench-out (e.g. 10000,100000; default = the standard sizes when the flag is set empty via -scale default)")
+		warm     = flag.Bool("warm-start", false, "add warm-start repair columns (repair time, speedup, quality ratio after a ~1% delta) to the shdg scale rows")
 		doCheck  = flag.Bool("check", false, "verify every harness-produced plan against the invariant oracles; abort on violation")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
-	cfg := bench.Config{Trials: *trials, Seed: *seed, Workers: *workers, BenchN: *benchN, Check: *doCheck}
+	cfg := bench.Config{Trials: *trials, Seed: *seed, Workers: *workers, BenchN: *benchN, Check: *doCheck, WarmStart: *warm}
+	if *scale != "" {
+		sizes, err := parseSizes(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdgbench: -scale: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.ScaleSizes = sizes
+	}
 
 	prof, err := obs.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -88,6 +101,23 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// parseSizes parses the -scale size list; "default" selects the standard
+// scale sizes (10k and 100k).
+func parseSizes(s string) ([]int, error) {
+	if s == "default" {
+		return bench.ScaleSizes(), nil
+	}
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }
 
 // writeBenchArtifact writes the planner benchmark JSON to path.

@@ -37,6 +37,7 @@ var hotPackages = []string{
 	"./internal/tsp",
 	"./internal/cover",
 	"./internal/shdgp",
+	"./internal/replan",
 	"./internal/par",
 	"./internal/bitset",
 	"./internal/geom",

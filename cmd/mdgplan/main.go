@@ -26,6 +26,7 @@ import (
 	"mobicol/internal/obs/report"
 	"mobicol/internal/obstacle"
 	"mobicol/internal/par"
+	"mobicol/internal/replan"
 	"mobicol/internal/shdgp"
 	"mobicol/internal/tsp"
 	"mobicol/internal/viz"
@@ -54,6 +55,7 @@ func run() error {
 		tracePath  = flag.String("trace", "", "write a JSONL span/metric trace to this path")
 		metrics    = flag.Bool("metrics", false, "print a span/metric summary table to stderr")
 		workers    = flag.Int("workers", 0, "planner worker pool size (0 = one per CPU, 1 = sequential; the plan is identical either way)")
+		warmStart  = flag.String("warm-start", "", "previous plan JSON (mdgplan -json output); repair it for the new deployment instead of planning cold")
 		doCheck    = flag.Bool("check", false, "verify the plan against the single-hop invariants and fail loudly on violation")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this path")
@@ -120,38 +122,48 @@ func run() error {
 	var plan *collector.TourPlan
 	var label string
 	var sol *shdgp.Solution
-	switch *algo {
-	case "shdg":
-		opts := shdgp.DefaultPlannerOptions()
-		opts.Obs = tr
-		sol, err = shdgp.Plan(p, opts)
+	if *warmStart != "" {
+		prevPlan, st, err := repairFrom(*warmStart, nw, par.Workers(*workers), tr)
 		if err != nil {
 			return err
 		}
-		plan, label = sol.Plan, sol.Algorithm
-	case "exact":
-		sol, err = shdgp.PlanExact(p, shdgp.DefaultExactLimits())
-		if err != nil {
-			return err
+		fmt.Printf("warm-start: kept %d, rehomed %d, recovered %d (+%d stops, -%d ejected, %d tour moves)\n",
+			st.Kept, st.Rehomed, st.Recovered, st.NewStops, st.Ejected, st.Moves)
+		plan, label = prevPlan, "warm-repair"
+	} else {
+		switch *algo {
+		case "shdg":
+			opts := shdgp.DefaultPlannerOptions()
+			opts.Obs = tr
+			sol, err = shdgp.Plan(p, opts)
+			if err != nil {
+				return err
+			}
+			plan, label = sol.Plan, sol.Algorithm
+		case "exact":
+			sol, err = shdgp.PlanExact(p, shdgp.DefaultExactLimits())
+			if err != nil {
+				return err
+			}
+			plan, label = sol.Plan, sol.Algorithm
+			if !sol.Exact {
+				fmt.Fprintln(os.Stderr, "mdgplan: warning: node cap tripped; solution may be suboptimal")
+			}
+		case "visit-all":
+			sol, err = shdgp.PlanVisitAll(p, tsp.DefaultOptions())
+			if err != nil {
+				return err
+			}
+			plan, label = sol.Plan, sol.Algorithm
+		case "cla":
+			plan, err = baselines.PlanCLA(nw)
+			if err != nil {
+				return err
+			}
+			label = "cla"
+		default:
+			return fmt.Errorf("unknown algorithm %q", *algo)
 		}
-		plan, label = sol.Plan, sol.Algorithm
-		if !sol.Exact {
-			fmt.Fprintln(os.Stderr, "mdgplan: warning: node cap tripped; solution may be suboptimal")
-		}
-	case "visit-all":
-		sol, err = shdgp.PlanVisitAll(p, tsp.DefaultOptions())
-		if err != nil {
-			return err
-		}
-		plan, label = sol.Plan, sol.Algorithm
-	case "cla":
-		plan, err = baselines.PlanCLA(nw)
-		if err != nil {
-			return err
-		}
-		label = "cla"
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
 
 	if *doCheck {
@@ -240,6 +252,27 @@ func run() error {
 		fmt.Printf("json:       %s\n", *jsonPath)
 	}
 	return nil
+}
+
+// repairFrom reads a previous plan and warm-repairs it for nw, matching
+// sensors positionally (stable sensor ordering across scenario saves).
+func repairFrom(path string, nw *wsn.Network, pool par.Pool, tr *obs.Trace) (*collector.TourPlan, replan.Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, replan.Stats{}, err
+	}
+	//mdglint:ignore errcheck input file is read-only; a close failure cannot lose data
+	defer f.Close()
+	prev, err := collector.ReadPlanJSON(f)
+	if err != nil {
+		return nil, replan.Stats{}, err
+	}
+	return replanRepair(nw, prev, pool, tr)
+}
+
+func replanRepair(nw *wsn.Network, prev *collector.TourPlan, pool par.Pool, tr *obs.Trace) (*collector.TourPlan, replan.Stats, error) {
+	carried := replan.CarryPositional(prev, nw.N())
+	return replan.Repair(nw, prev, carried, replan.Options{Pool: pool, Obs: tr})
 }
 
 // runObstacles handles the -obstacles mode: obstacle-aware planning with

@@ -37,6 +37,12 @@ type Config struct {
 	// first violation. The equivalence tests run with it on; cmd/mdgbench
 	// exposes it as -check.
 	Check bool
+	// ScaleSizes adds large-n single-trial rows to the planner benchmark
+	// (cmd/mdgbench -scale); empty skips them.
+	ScaleSizes []int
+	// WarmStart adds warm-start repair columns to the shdg scale rows
+	// (cmd/mdgbench -warm-start).
+	WarmStart bool
 }
 
 // DefaultConfig runs 30 trials per point.

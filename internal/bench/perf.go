@@ -85,6 +85,49 @@ func ComparePerf(base, cur *PlannerBenchResult, pol PerfPolicy) []string {
 		}
 		bad = append(bad, compareAlgo(b, c, pol)...)
 	}
+	bad = append(bad, compareScale(base.Scale, cur.Scale)...)
+	return bad
+}
+
+// compareScale gates the deterministic columns of the scale rows: tour
+// quality and the warm/cold ratio are seeded-algorithm outputs, so a
+// change means the algorithm changed. Timing and RSS columns are never
+// compared. A baseline without scale rows gates nothing (the CI perf run
+// skips the large-n sweep); a baseline row missing from the current run
+// is a structural regression.
+func compareScale(base, cur []ScaleBench) []string {
+	if len(base) == 0 {
+		return nil
+	}
+	var bad []string
+	curBy := map[string]*ScaleBench{}
+	for i := range cur {
+		curBy[fmt.Sprintf("%s@%d", cur[i].Algo, cur[i].N)] = &cur[i]
+	}
+	for i := range base {
+		b := &base[i]
+		key := fmt.Sprintf("%s@%d", b.Algo, b.N)
+		c := curBy[key]
+		if c == nil {
+			bad = append(bad, fmt.Sprintf("scale %s: row missing from current run", key))
+			continue
+		}
+		if math.Float64bits(b.TourM) != math.Float64bits(c.TourM) {
+			bad = append(bad, fmt.Sprintf("scale %s: tour_m changed: %v -> %v (deterministic field)", key, b.TourM, c.TourM))
+		}
+		if b.Stops != c.Stops {
+			bad = append(bad, fmt.Sprintf("scale %s: stops changed: %d -> %d (deterministic field)", key, b.Stops, c.Stops))
+		}
+		// Zero is the omitempty sentinel for "warm columns absent", not a
+		// computed quantity, so the exact compare is the intended test.
+		//mdglint:ignore floateq 0 is the absent-column sentinel, not a computed value
+		if (b.WarmRatio != 0) != (c.WarmRatio != 0) {
+			bad = append(bad, fmt.Sprintf("scale %s: warm columns appeared/disappeared (baseline ratio %v, current %v)", key, b.WarmRatio, c.WarmRatio))
+			//mdglint:ignore floateq 0 is the absent-column sentinel; the value compare is bitwise
+		} else if b.WarmRatio != 0 && math.Float64bits(b.WarmRatio) != math.Float64bits(c.WarmRatio) {
+			bad = append(bad, fmt.Sprintf("scale %s: warm_ratio changed: %v -> %v (deterministic field)", key, b.WarmRatio, c.WarmRatio))
+		}
+	}
 	return bad
 }
 

@@ -150,12 +150,12 @@ func TestMedianPerf(t *testing.T) {
 }
 
 func TestReadPlannerBenchSchemaGate(t *testing.T) {
-	v1 := `{"schema":"mobicol/bench-planner/v1","trials":5}`
-	if _, err := ReadPlannerBench(strings.NewReader(v1)); err == nil || !strings.Contains(err.Error(), "schema") {
-		t.Errorf("v1 artifact must be rejected with a schema error, got %v", err)
+	v2 := `{"schema":"mobicol/bench-planner/v2","trials":5}`
+	if _, err := ReadPlannerBench(strings.NewReader(v2)); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("v2 artifact must be rejected with a schema error, got %v", err)
 	}
-	v2 := `{"schema":"mobicol/bench-planner/v2","trials":5,"seed":1,"n":100,"meta":{"workers":1,"trials_per_phase":5},"algos":[]}`
-	res, err := ReadPlannerBench(strings.NewReader(v2))
+	v3 := `{"schema":"mobicol/bench-planner/v3","trials":5,"seed":1,"n":100,"meta":{"workers":1,"trials_per_phase":5},"algos":[]}`
+	res, err := ReadPlannerBench(strings.NewReader(v3))
 	if err != nil {
 		t.Fatal(err)
 	}

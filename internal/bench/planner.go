@@ -54,7 +54,8 @@ type PlannerBenchMeta struct {
 
 // PlannerBenchResult is the schema of BENCH_planner.json: per-algorithm
 // tour quality plus per-phase planning cost on a fixed instance family.
-// Schema history: v1 had no meta block; v2 added it (PlannerBenchMeta).
+// Schema history: v1 had no meta block; v2 added it (PlannerBenchMeta);
+// v3 added the optional large-n scale rows with warm-start columns.
 type PlannerBenchResult struct {
 	Schema string             `json:"schema"`
 	Trials int                `json:"trials"`
@@ -64,10 +65,14 @@ type PlannerBenchResult struct {
 	RangeM float64            `json:"range_m"`
 	Meta   PlannerBenchMeta   `json:"meta"`
 	Algos  []PlannerAlgoBench `json:"algos"`
+	// Scale holds the large-n single-trial rows (n=10k/100k by default),
+	// present when the run was invoked with scale sizes. The perf ratchet
+	// compares only their deterministic quality columns.
+	Scale []ScaleBench `json:"scale,omitempty"`
 }
 
 // PlannerBenchSchema is the current BENCH_planner.json schema tag.
-const PlannerBenchSchema = "mobicol/bench-planner/v2"
+const PlannerBenchSchema = "mobicol/bench-planner/v3"
 
 // PlannerBenchmarks measures the planners cfg.Trials times on the
 // standard deployment family (cfg.BenchN sensors, default 100, with the
@@ -182,6 +187,13 @@ func PlannerBenchmarks(cfg Config) (*PlannerBenchResult, error) {
 		}
 		row.AllocsPerOp, row.BytesPerOp = allocs, bytesPer
 		res.Algos = append(res.Algos, row)
+	}
+	if len(cfg.ScaleSizes) > 0 {
+		scale, err := ScaleBenchmarks(cfg, cfg.ScaleSizes, cfg.WarmStart)
+		if err != nil {
+			return nil, err
+		}
+		res.Scale = scale
 	}
 	return res, nil
 }

@@ -1,0 +1,16 @@
+//go:build linux
+
+package bench
+
+import "syscall"
+
+// peakRSSBytes returns the process's high-water resident set size.
+// Linux reports ru_maxrss in kilobytes; the value is monotone over the
+// process lifetime, so callers read it as "the largest thing so far".
+func peakRSSBytes() uint64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return uint64(ru.Maxrss) * 1024
+}

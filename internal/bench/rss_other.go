@@ -1,0 +1,7 @@
+//go:build !linux
+
+package bench
+
+// peakRSSBytes reports 0 on platforms without a getrusage peak-RSS
+// reading; the scale table documents 0 as "unsupported here".
+func peakRSSBytes() uint64 { return 0 }

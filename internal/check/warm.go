@@ -1,0 +1,40 @@
+package check
+
+import (
+	"fmt"
+
+	"mobicol/internal/geom"
+)
+
+// MaxWarmRatio pins warm-start repair quality: a warm-repaired tour must
+// stay within this factor of a cold replan of the same scenario. The
+// bound lives here — below both the planner and the repairer — so the
+// benchmarks, the CLIs, and the metamorphic tests all enforce the same
+// number.
+const MaxWarmRatio = 1.15
+
+// WarmRatio returns warm/cold, the quality ratio the benchmarks report.
+// A degenerate cold tour of zero length yields 1 when warm is also
+// (near-)zero and +Inf ratio semantics otherwise via the plain division.
+func WarmRatio(warm, cold geom.Meters) float64 {
+	//mdglint:ignore floateq 0 is the empty-tour sentinel, not a computed comparison
+	if cold == 0 && warm == 0 {
+		return 1
+	}
+	//mdglint:ignore unitcheck math boundary: the ratio of two lengths is dimensionless
+	return float64(warm) / float64(cold)
+}
+
+// WarmQuality verifies a warm-repaired tour length against the cold
+// replan of the same scenario: warm must not exceed MaxWarmRatio × cold
+// (with an absolute floor of one transmission-range-scale metre so tiny
+// tours do not fail on noise). nil means the repair kept its quality
+// contract.
+func WarmQuality(warm, cold geom.Meters) error {
+	limit := cold.Scale(MaxWarmRatio) + 1
+	if warm > limit {
+		return fmt.Errorf("check: warm tour %.2fm exceeds %.2f x cold %.2fm (ratio %.3f)",
+			warm, MaxWarmRatio, cold, WarmRatio(warm, cold))
+	}
+	return nil
+}

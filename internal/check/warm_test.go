@@ -1,0 +1,40 @@
+package check
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWarmRatio(t *testing.T) {
+	if got := WarmRatio(115, 100); math.Abs(got-1.15) > 1e-12 {
+		t.Errorf("WarmRatio(115, 100) = %v", got)
+	}
+	if got := WarmRatio(0, 0); got != 1 {
+		t.Errorf("WarmRatio(0, 0) = %v, want the degenerate 1", got)
+	}
+	if got := WarmRatio(5, 0); !math.IsInf(got, 1) {
+		t.Errorf("WarmRatio(5, 0) = %v, want +Inf", got)
+	}
+}
+
+func TestWarmQuality(t *testing.T) {
+	if err := WarmQuality(100, 100); err != nil {
+		t.Errorf("equal lengths rejected: %v", err)
+	}
+	// Exactly at the pinned bound (plus the 1 m floor) passes.
+	if err := WarmQuality(100*MaxWarmRatio, 100); err != nil {
+		t.Errorf("at-bound warm tour rejected: %v", err)
+	}
+	// Tiny tours ride the absolute floor instead of failing on noise.
+	if err := WarmQuality(0.9, 0); err != nil {
+		t.Errorf("sub-floor warm tour rejected: %v", err)
+	}
+	err := WarmQuality(100*MaxWarmRatio+2, 100)
+	if err == nil {
+		t.Fatal("over-bound warm tour accepted")
+	}
+	if !strings.Contains(err.Error(), "ratio") {
+		t.Errorf("error does not report the ratio: %v", err)
+	}
+}

@@ -11,6 +11,7 @@ package cover
 
 import (
 	"fmt"
+	"slices"
 
 	"mobicol/internal/bitset"
 	"mobicol/internal/geom"
@@ -18,22 +19,67 @@ import (
 	"mobicol/internal/par"
 )
 
-// Instance is a set-cover instance: Covers[c] is the set of sensor indices
-// within range of candidate c. Universe is the number of sensors.
+// Instance is a set-cover instance: Cover(c) is the sorted list of sensor
+// indices within range of candidate c. Universe is the number of sensors.
+//
+// Covers are stored sparse (CSR: one offsets slice into one shared index
+// slice) because geometric instances are sparse by construction — a
+// candidate covers the few sensors within one transmission range, so the
+// average cover holds a handful of sensors regardless of n. Dense bitset
+// rows would cost Universe bits per candidate (≈1.2 GB at n=100k with
+// 100k candidates); CSR costs 4 bytes per covered pair (a few MB). Paths
+// that genuinely want set algebra on small instances (exact search, the
+// ILP model) materialise a dense view once via CoverSets.
 type Instance struct {
 	Universe   int
 	Candidates []geom.Point
-	Covers     []*bitset.Set
+
+	// CSR cover lists: candidate c covers idx[off[c]:off[c+1]], ascending.
+	off []int32
+	idx []int32
+
+	// covers is the lazily materialised dense view (CoverSets).
+	covers []*bitset.Set
 
 	// err records an invalid construction (mismatched radii, non-positive
 	// range); Err and every solving method surface it.
 	err error
 
 	// uncoverable() is pure in the instance; memoize it so the repeated
-	// feasibility checks on the planning hot path cost three bitset
-	// allocations once instead of per call.
+	// feasibility checks on the planning hot path cost one scan instead
+	// of one per call.
 	uncovOnce bool
 	uncovIdx  int
+}
+
+// NumCandidates returns the number of (useful) candidates.
+func (in *Instance) NumCandidates() int { return len(in.Candidates) }
+
+// Cover returns the sorted sensor indices covered by candidate c. The
+// slice aliases the instance's storage; callers must not mutate it.
+//
+//mdglint:hotpath
+func (in *Instance) Cover(c int) []int32 {
+	return in.idx[in.off[c]:in.off[c+1]]
+}
+
+// CoverSets materialises (once) and returns the dense bitset view of the
+// covers, for small-instance consumers that want set algebra. Large-n
+// planning paths must stay on Cover: the dense view is quadratic memory.
+//
+//mdglint:allow-alloc(dense view is materialised once, on small-instance paths only)
+func (in *Instance) CoverSets() []*bitset.Set {
+	if in.covers == nil && len(in.Candidates) > 0 {
+		in.covers = make([]*bitset.Set, len(in.Candidates))
+		for c := range in.covers {
+			set := bitset.New(in.Universe)
+			for _, s := range in.Cover(c) {
+				set.Add(int(s))
+			}
+			in.covers[c] = set
+		}
+	}
+	return in.covers
 }
 
 // NewInstance builds the covering instance for the given sensors,
@@ -67,57 +113,69 @@ func NewInstanceRadii(sensors []geom.Point, radii []float64, candidates []geom.P
 // NewInstanceRadiiPool is NewInstanceRadii across a worker pool: the
 // per-candidate cover computations are embarrassingly parallel, and the
 // ordered reduction keeps the candidate numbering byte-identical to the
-// sequential construction.
+// sequential construction. Each cover list is sorted ascending, so the
+// instance is also independent of the grid index's cell iteration order.
 func NewInstanceRadiiPool(sensors []geom.Point, radii []float64, candidates []geom.Point, pool par.Pool) *Instance {
 	if len(radii) != len(sensors) {
-		return &Instance{Universe: len(sensors),
+		return &Instance{Universe: len(sensors), off: []int32{0},
 			err: fmt.Errorf("cover: %d radii for %d sensors", len(radii), len(sensors))}
 	}
 	maxR := 0.0
 	for i, r := range radii {
 		if r <= 0 {
-			return &Instance{Universe: len(sensors),
+			return &Instance{Universe: len(sensors), off: []int32{0},
 				err: fmt.Errorf("cover: non-positive radius %v for sensor %d", r, i)}
 		}
 		if r > maxR {
 			maxR = r
 		}
 	}
-	inst := &Instance{Universe: len(sensors)}
+	inst := &Instance{Universe: len(sensors), off: []int32{0}}
 	if len(sensors) == 0 {
 		return inst
 	}
-	idx := geom.NewGridIndex(sensors, maxR)
+	// Occupancy-aware sizing keeps per-query work flat when the field is
+	// dense relative to the range; the query results are exact either way.
+	sidx := geom.NewGridIndexFor(sensors, maxR)
 	// Each chunk owns a reusable query buffer and writes only its own
-	// slots of sets; the grid index is read-only and safe to share.
-	sets := make([]*bitset.Set, len(candidates))
+	// slots of lists; the grid index is read-only and safe to share.
+	lists := make([][]int32, len(candidates))
 	pool.ForChunks(len(candidates), func(lo, hi int) {
 		//mdglint:allow-alloc(one query buffer per worker chunk, reused across its candidates)
 		buf := make([]int, 0, 64)
 		for ci := lo; ci < hi; ci++ {
 			c := candidates[ci]
-			buf = idx.Within(c, maxR, buf[:0])
-			var set *bitset.Set
+			buf = sidx.Within(c, maxR, buf[:0])
+			var list []int32
 			for _, s := range buf {
 				if sensors[s].Dist2(c) <= radii[s]*radii[s]+geom.Eps {
-					if set == nil {
-						//mdglint:allow-alloc(cover sets outlive the chunk — they are the instance being built)
-						set = bitset.New(len(sensors))
-					}
-					set.Add(s)
+					//mdglint:allow-alloc(cover lists outlive the chunk — they are the instance being built)
+					list = append(list, int32(s))
 				}
 			}
-			sets[ci] = set
+			slices.Sort(list)
+			lists[ci] = list
 		}
 	})
 	// Ordered reduction: keep useful candidates in input order, exactly as
-	// the sequential append loop did.
-	for ci, set := range sets {
-		if set == nil {
+	// the sequential append loop did, folding the lists into one CSR pair.
+	kept, total := 0, 0
+	for _, l := range lists {
+		if len(l) > 0 {
+			kept++
+			total += len(l)
+		}
+	}
+	inst.Candidates = make([]geom.Point, 0, kept)
+	inst.off = make([]int32, 1, kept+1)
+	inst.idx = make([]int32, 0, total)
+	for ci, l := range lists {
+		if len(l) == 0 {
 			continue
 		}
 		inst.Candidates = append(inst.Candidates, candidates[ci])
-		inst.Covers = append(inst.Covers, set)
+		inst.idx = append(inst.idx, l...)
+		inst.off = append(inst.off, int32(len(inst.idx)))
 	}
 	return inst
 }
@@ -141,17 +199,22 @@ func (in *Instance) uncoverable() int {
 //mdglint:allow-alloc(feasibility scan runs once per instance; every hot-path call hits the memo)
 func (in *Instance) computeUncoverable() int {
 	all := bitset.New(in.Universe)
-	for _, c := range in.Covers {
-		all.Or(c)
+	covered := 0
+	for _, s := range in.idx {
+		if !all.Has(int(s)) {
+			all.Add(int(s))
+			covered++
+		}
 	}
-	if all.Count() == in.Universe {
+	if covered == in.Universe {
 		return -1
 	}
-	missing := all.Clone()
-	full := bitset.New(in.Universe)
-	full.Fill()
-	full.AndNot(missing)
-	return full.NextSet(0)
+	for s := 0; s < in.Universe; s++ {
+		if !all.Has(s) {
+			return s
+		}
+	}
+	return -1
 }
 
 // Err returns nil for valid, feasible instances and a descriptive error
@@ -223,6 +286,21 @@ func (s *GreedyScratch) ensure(universe, candidates int) {
 	s.chosen = s.chosen[:0]
 }
 
+// gainAgainst counts how many of candidate c's sensors are still in
+// uncovered — the CELF re-evaluation kernel. Sparse iteration makes it
+// O(|cover|) per call instead of O(universe/64) bitset words.
+//
+//mdglint:hotpath
+func (in *Instance) gainAgainst(c int, uncovered *bitset.Set) int {
+	g := 0
+	for _, s := range in.Cover(c) {
+		if uncovered.Has(int(s)) {
+			g++
+		}
+	}
+	return g
+}
+
 // GreedyInto is GreedyObs running entirely in the caller's scratch. The
 // returned slice aliases the scratch's selection buffer and is only
 // valid until the next call with the same scratch.
@@ -234,25 +312,26 @@ func (in *Instance) GreedyInto(tieBreak geom.Point, sp *obs.Span, s *GreedyScrat
 	}
 	sp.SetInt("candidates", int64(len(in.Candidates)))
 	sp.SetInt("universe", int64(in.Universe))
-	s.ensure(in.Universe, len(in.Covers))
+	s.ensure(in.Universe, in.NumCandidates())
 	uncovered := s.uncovered
 	uncovered.Fill()
+	remaining := in.Universe
 
 	// Round 0: every candidate's gain against the full universe is just its
-	// cover size — no popcount against uncovered needed.
+	// cover size — no membership scan needed.
 	h := s.h
-	for c, set := range in.Covers {
-		h[c] = celfEntry{cand: c, gain: set.Count(), dist: in.Candidates[c].Dist2(tieBreak)}
+	for c := range in.Candidates {
+		h[c] = celfEntry{cand: c, gain: len(in.Cover(c)), dist: in.Candidates[c].Dist2(tieBreak)}
 	}
 	h.init()
 
 	reevals := int64(0)
-	for round := 0; uncovered.Count() > 0; round++ {
+	for round := 0; remaining > 0; round++ {
 		// Pop until the top entry's gain is fresh for this round. Gains
 		// are monotone non-increasing, so stale entries only over-rank;
 		// a fresh top is the exact naive argmax.
 		for len(h) > 0 && h[0].round != round {
-			h[0].gain = in.Covers[h[0].cand].CountAnd(uncovered)
+			h[0].gain = in.gainAgainst(h[0].cand, uncovered)
 			h[0].round = round
 			h.siftDown(0)
 			reevals++
@@ -260,12 +339,17 @@ func (in *Instance) GreedyInto(tieBreak geom.Point, sp *obs.Span, s *GreedyScrat
 		if len(h) == 0 || h[0].gain == 0 {
 			// Unreachable given the feasibility pre-check, but guard anyway.
 			//mdglint:allow-alloc(defensive error path; unreachable after the feasibility pre-check)
-			return nil, fmt.Errorf("cover: greedy stalled with %d sensors uncovered", uncovered.Count())
+			return nil, fmt.Errorf("cover: greedy stalled with %d sensors uncovered", remaining)
 		}
 		best := h.popTop()
 		//mdglint:allow-alloc(append reuses selection capacity retained in the scratch)
 		s.chosen = append(s.chosen, best.cand)
-		uncovered.AndNot(in.Covers[best.cand])
+		for _, sv := range in.Cover(best.cand) {
+			if uncovered.Has(int(sv)) {
+				uncovered.Remove(int(sv))
+				remaining--
+			}
+		}
 		sp.Count("cover.greedy_iters", 1)
 		sp.Observe("cover.gain", float64(best.gain))
 	}
@@ -278,7 +362,9 @@ func (in *Instance) GreedyInto(tieBreak geom.Point, sp *obs.Span, s *GreedyScrat
 func (in *Instance) Covered(chosen []int) *bitset.Set {
 	u := bitset.New(in.Universe)
 	for _, c := range chosen {
-		u.Or(in.Covers[c])
+		for _, s := range in.Cover(c) {
+			u.Add(int(s))
+		}
 	}
 	return u
 }
@@ -298,15 +384,31 @@ func (in *Instance) Assign(sensors []geom.Point, chosen []int) []int {
 		assignment[i] = -1
 	}
 	for pos, c := range chosen {
-		set := in.Covers[c]
-		set.ForEach(func(s int) {
+		for _, sv := range in.Cover(c) {
+			s := int(sv)
 			cur := assignment[s]
 			if cur < 0 || sensors[s].Dist2(in.Candidates[chosen[pos]]) < sensors[s].Dist2(in.Candidates[chosen[cur]]) {
 				assignment[s] = pos
 			}
-		})
+		}
 	}
 	return assignment
+}
+
+// subsetOfSorted reports whether every element of a (ascending) is also
+// in b (ascending).
+func subsetOfSorted(a, b []int32) bool {
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j >= len(b) || b[j] != v {
+			return false
+		}
+		j++
+	}
+	return true
 }
 
 // Prune removes dominated candidates: candidate a is dominated when some
@@ -315,18 +417,20 @@ func (in *Instance) Assign(sensors []geom.Point, chosen []int) []int {
 // dense fields. It returns a new Instance plus a map from new candidate
 // index to original index.
 func (in *Instance) Prune() (*Instance, []int) {
-	n := len(in.Covers)
+	n := in.NumCandidates()
 	dominated := make([]bool, n)
 	for a := 0; a < n; a++ {
 		if dominated[a] {
 			continue
 		}
+		ca := in.Cover(a)
 		for b := 0; b < n; b++ {
 			if a == b || dominated[b] {
 				continue
 			}
-			if in.Covers[a].SubsetOf(in.Covers[b]) {
-				if in.Covers[a].Equal(in.Covers[b]) && a < b {
+			cb := in.Cover(b)
+			if subsetOfSorted(ca, cb) {
+				if len(ca) == len(cb) && a < b {
 					continue // keep the earlier of two equals
 				}
 				dominated[a] = true
@@ -334,12 +438,13 @@ func (in *Instance) Prune() (*Instance, []int) {
 			}
 		}
 	}
-	out := &Instance{Universe: in.Universe, err: in.err}
+	out := &Instance{Universe: in.Universe, err: in.err, off: []int32{0}}
 	var orig []int
 	for c := 0; c < n; c++ {
 		if !dominated[c] {
 			out.Candidates = append(out.Candidates, in.Candidates[c])
-			out.Covers = append(out.Covers, in.Covers[c])
+			out.idx = append(out.idx, in.Cover(c)...)
+			out.off = append(out.off, int32(len(out.idx)))
 			orig = append(orig, c)
 		}
 	}

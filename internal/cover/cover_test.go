@@ -149,8 +149,8 @@ func TestPruneRemovesDominated(t *testing.T) {
 	cands := []geom.Point{geom.Pt(0, 0), geom.Pt(8, 0), geom.Pt(4, 0)}
 	in := NewInstance(sensors, cands, 5)
 	pruned, orig := in.Prune()
-	if len(pruned.Covers) != 1 {
-		t.Fatalf("pruned to %d candidates, want 1", len(pruned.Covers))
+	if pruned.NumCandidates() != 1 {
+		t.Fatalf("pruned to %d candidates, want 1", pruned.NumCandidates())
 	}
 	if !in.Candidates[orig[0]].Eq(geom.Pt(4, 0)) {
 		t.Fatalf("kept wrong candidate %v", in.Candidates[orig[0]])
@@ -162,8 +162,8 @@ func TestPruneKeepsOneOfEquals(t *testing.T) {
 	cands := []geom.Point{geom.Pt(1, 0), geom.Pt(-1, 0)}
 	in := NewInstance(sensors, cands, 5)
 	pruned, _ := in.Prune()
-	if len(pruned.Covers) != 1 {
-		t.Fatalf("equal covers pruned to %d, want 1", len(pruned.Covers))
+	if pruned.NumCandidates() != 1 {
+		t.Fatalf("equal covers pruned to %d, want 1", pruned.NumCandidates())
 	}
 }
 

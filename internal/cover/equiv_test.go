@@ -3,6 +3,7 @@ package cover
 import (
 	"fmt"
 	"math"
+	"slices"
 	"testing"
 
 	"mobicol/internal/bitset"
@@ -23,7 +24,7 @@ func naiveGreedy(in *Instance, tieBreak geom.Point) ([]int, error) {
 	for uncovered.Count() > 0 {
 		best, bestGain := -1, 0
 		var bestDist float64
-		for c, set := range in.Covers {
+		for c, set := range in.CoverSets() {
 			gain := set.CountAnd(uncovered)
 			if gain == 0 {
 				continue
@@ -37,7 +38,7 @@ func naiveGreedy(in *Instance, tieBreak geom.Point) ([]int, error) {
 			return nil, fmt.Errorf("cover: greedy stalled with %d sensors uncovered", uncovered.Count())
 		}
 		chosen = append(chosen, best)
-		uncovered.AndNot(in.Covers[best])
+		uncovered.AndNot(in.CoverSets()[best])
 	}
 	return chosen, nil
 }
@@ -99,7 +100,7 @@ func TestInstancePoolEquivalence(t *testing.T) {
 				if !parIn.Candidates[i].Eq(seqIn.Candidates[i]) {
 					t.Fatalf("n=%d seed=%d: candidate %d differs", tc.n, seed, i)
 				}
-				if !parIn.Covers[i].Equal(seqIn.Covers[i]) {
+				if !slices.Equal(parIn.Cover(i), seqIn.Cover(i)) {
 					t.Fatalf("n=%d seed=%d: cover %d differs", tc.n, seed, i)
 				}
 			}

@@ -20,6 +20,9 @@ func (in *Instance) ExactMin(maxNodes int) (chosen []int, exact bool, err error)
 		return nil, false, err
 	}
 	pruned, orig := in.Prune()
+	// Exact search is a small-instance path: the dense set view is fine
+	// here and keeps the branch bookkeeping on fast bitset algebra.
+	covers := pruned.CoverSets()
 
 	// Incumbent from greedy.
 	greedy, err := pruned.Greedy(pruned.Candidates[0])
@@ -32,7 +35,7 @@ func (in *Instance) ExactMin(maxNodes int) (chosen []int, exact bool, err error)
 	// coversSensor[s] lists candidates covering sensor s, biggest first
 	// (so promising branches are explored early).
 	coversSensor := make([][]int, pruned.Universe)
-	for c, set := range pruned.Covers {
+	for c, set := range covers {
 		set.ForEach(func(s int) {
 			coversSensor[s] = append(coversSensor[s], c)
 		})
@@ -40,13 +43,13 @@ func (in *Instance) ExactMin(maxNodes int) (chosen []int, exact bool, err error)
 	for s := range coversSensor {
 		cs := coversSensor[s]
 		for i := 1; i < len(cs); i++ {
-			for j := i; j > 0 && pruned.Covers[cs[j]].Count() > pruned.Covers[cs[j-1]].Count(); j-- {
+			for j := i; j > 0 && covers[cs[j]].Count() > covers[cs[j-1]].Count(); j-- {
 				cs[j], cs[j-1] = cs[j-1], cs[j]
 			}
 		}
 	}
 	maxCover := 1
-	for _, set := range pruned.Covers {
+	for _, set := range covers {
 		if c := set.Count(); c > maxCover {
 			maxCover = c
 		}
@@ -80,9 +83,9 @@ func (in *Instance) ExactMin(maxNodes int) (chosen []int, exact bool, err error)
 		s := uncovered.NextSet(0)
 		for _, c := range coversSensor[s] {
 			// Save the covered subset to restore after the branch.
-			newly := pruned.Covers[c].Clone()
+			newly := covers[c].Clone()
 			newly.And(uncovered)
-			uncovered.AndNot(pruned.Covers[c])
+			uncovered.AndNot(covers[c])
 			cur = append(cur, c)
 			rec()
 			cur = cur[:len(cur)-1]

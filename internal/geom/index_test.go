@@ -108,6 +108,86 @@ func TestGridIndexReusesBuffer(t *testing.T) {
 	}
 }
 
+// TestGridIndexAuto10k is the large-n sizing test: at 10k points on a
+// dense field, an occupancy-derived cell must keep the table O(n), keep
+// per-cell population near the target, and answer queries identically
+// to brute force.
+func TestGridIndexAuto10k(t *testing.T) {
+	const n = 10_000
+	side := 200.0 * math.Sqrt(float64(n)/100.0)
+	s := rng.New(42)
+	pts := randPoints(s, n, side)
+	g := NewGridIndexAuto(pts, 0)
+	cols, rows := g.Cells()
+	if cells := cols * rows; cells > 4*n+64 {
+		t.Fatalf("auto-sized table has %d cells for %d points; want O(n)", cells, n)
+	}
+	if occ := float64(n) / float64(cols*rows); occ < 0.5 || occ > 8 {
+		t.Fatalf("auto-sized occupancy %.2f points/cell; want near %v", occ, DefaultGridOccupancy)
+	}
+	for trial := 0; trial < 25; trial++ {
+		q := Pt(s.Uniform(-40, side+40), s.Uniform(-40, side+40))
+		r := s.Uniform(5, 60)
+		sameIndexSet(t, g.Within(q, r, nil), bruteWithin(pts, q, r), "auto GridIndex.Within")
+		got := g.Nearest(q)
+		want := bruteNearest(pts, q)
+		if pts[got].Dist(q) > pts[want].Dist(q)+1e-9 {
+			t.Fatalf("auto Nearest returned %d (d=%v), brute %d (d=%v)",
+				got, pts[got].Dist(q), want, pts[want].Dist(q))
+		}
+		gotIn, gotD2 := g.NearestWithin(q, r)
+		wantIn := -1
+		for _, i := range bruteWithin(pts, q, r) {
+			if wantIn == -1 || pts[i].Dist2(q) < pts[wantIn].Dist2(q) {
+				wantIn = i
+			}
+		}
+		if gotIn != wantIn {
+			t.Fatalf("NearestWithin = %d, brute %d", gotIn, wantIn)
+		}
+		if wantIn >= 0 && gotD2 != pts[wantIn].Dist2(q) {
+			t.Fatalf("NearestWithin d2 = %v, want %v", gotD2, pts[wantIn].Dist2(q))
+		}
+	}
+}
+
+func TestGridIndexAutoDegenerate(t *testing.T) {
+	coincident := []Point{Pt(3, 3), Pt(3, 3), Pt(3, 3)}
+	g := NewGridIndexAuto(coincident, 2)
+	if got := g.Within(Pt(3, 3), 1, nil); len(got) != 3 {
+		t.Fatalf("coincident Within = %v", got)
+	}
+	collinear := []Point{Pt(0, 5), Pt(10, 5), Pt(20, 5), Pt(30, 5)}
+	g = NewGridIndexAuto(collinear, 2)
+	sameIndexSet(t, g.Within(Pt(15, 5), 6, nil), bruteWithin(collinear, Pt(15, 5), 6), "collinear Within")
+	if g.Nearest(Pt(8, 5)) != 1 {
+		t.Fatalf("collinear Nearest = %d, want 1", g.Nearest(Pt(8, 5)))
+	}
+	if NewGridIndexAuto(nil, 0).Nearest(Pt(0, 0)) != -1 {
+		t.Fatal("empty auto index Nearest should be -1")
+	}
+}
+
+// TestGridIndexForDense asserts the radius-aware constructor switches to
+// occupancy sizing on dense fields (where radius-sized cells would hold
+// many points) and keeps query results exact either way.
+func TestGridIndexForDense(t *testing.T) {
+	s := rng.New(17)
+	pts := randPoints(s, 2000, 200) // dense: r=30 cells would hold ~45 points
+	g := NewGridIndexFor(pts, 30)
+	if g.CellSize() >= 30 {
+		t.Fatalf("dense field kept radius-sized cell %v", g.CellSize())
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := Pt(s.Uniform(0, 200), s.Uniform(0, 200))
+		sameIndexSet(t, g.Within(q, 30, nil), bruteWithin(pts, q, 30), "dense NewGridIndexFor.Within")
+	}
+	sparse := randPoints(s, 20, 200)
+	if g := NewGridIndexFor(sparse, 30); g.CellSize() != 30 {
+		t.Fatalf("sparse field should keep radius-sized cell, got %v", g.CellSize())
+	}
+}
+
 func TestKDTreeNearestMatchesBrute(t *testing.T) {
 	s := rng.New(12)
 	pts := randPoints(s, 400, 300)

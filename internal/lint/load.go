@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/scanner"
@@ -10,6 +11,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -131,6 +133,11 @@ func LoadModule(root string) ([]*Package, []Finding, error) {
 			}
 		}
 		if strings.HasSuffix(file.Name.Name, "_test") {
+			return nil
+		}
+		if !buildableHere(file) {
+			// Platform-specific twins (rss_linux.go / rss_other.go) would
+			// otherwise collide as redeclarations in one package.
 			return nil
 		}
 		dir := filepath.Dir(path)
@@ -283,4 +290,29 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 		return nil, fmt.Errorf("lint: internal package %s not yet type-checked", path)
 	}
 	return m.std.Import(path)
+}
+
+// buildableHere evaluates a file's //go:build constraint (when present)
+// against the platform the linter runs on, mirroring the compiler's file
+// selection. Only GOOS/GOARCH tags are modelled — the repo does not use
+// custom build tags — and a file with no constraint is always in.
+func buildableHere(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		if cg.Pos() >= file.Package {
+			break // constraints live above the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed: let the compiler report it
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH
+			})
+		}
+	}
+	return true
 }

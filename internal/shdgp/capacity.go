@@ -35,18 +35,27 @@ func PlanCapacitated(p *Problem, cap int, opts tsp.Options) (*Solution, error) {
 
 	uncovered := bitset.New(inst.Universe)
 	uncovered.Fill()
-	used := make([]bool, len(inst.Covers))
+	used := make([]bool, inst.NumCandidates())
 	var stopsCand []int     // chosen candidate per stop
 	var stopsAssign [][]int // sensors served by each stop
 
+	countUncovered := func(c int) int {
+		g := 0
+		for _, s := range inst.Cover(c) {
+			if uncovered.Has(int(s)) {
+				g++
+			}
+		}
+		return g
+	}
 	for !uncovered.Empty() {
 		best, bestGain := -1, 0
 		var bestDist float64
-		for c, set := range inst.Covers {
+		for c := 0; c < inst.NumCandidates(); c++ {
 			if used[c] {
 				continue
 			}
-			gain := set.CountAnd(uncovered)
+			gain := countUncovered(c)
 			if gain > cap {
 				gain = cap
 			}
@@ -64,11 +73,11 @@ func PlanCapacitated(p *Problem, cap int, opts tsp.Options) (*Solution, error) {
 		used[best] = true
 		// Serve the cap nearest uncovered sensors in this stop's range.
 		var eligible []int
-		inst.Covers[best].ForEach(func(s int) {
-			if uncovered.Has(s) {
-				eligible = append(eligible, s)
+		for _, s := range inst.Cover(best) {
+			if uncovered.Has(int(s)) {
+				eligible = append(eligible, int(s))
 			}
-		})
+		}
 		pos := inst.Candidates[best]
 		sort.Slice(eligible, func(a, b int) bool {
 			return sensors[eligible[a]].Dist2(pos) < sensors[eligible[b]].Dist2(pos)
@@ -142,10 +151,21 @@ func PlanSweep(p *Problem, opts tsp.Options) (*Solution, error) {
 	}
 	// coversSensor[s]: candidate indices covering sensor s.
 	coversSensor := make([][]int, inst.Universe)
-	for c, set := range inst.Covers {
-		set.ForEach(func(s int) { coversSensor[s] = append(coversSensor[s], c) })
+	for c := 0; c < inst.NumCandidates(); c++ {
+		for _, s := range inst.Cover(c) {
+			coversSensor[s] = append(coversSensor[s], c)
+		}
 	}
 
+	countUncovered := func(c int, uncovered *bitset.Set) int {
+		g := 0
+		for _, s := range inst.Cover(c) {
+			if uncovered.Has(int(s)) {
+				g++
+			}
+		}
+		return g
+	}
 	uncovered := bitset.New(inst.Universe)
 	uncovered.Fill()
 	var chosen []int
@@ -155,7 +175,7 @@ func PlanSweep(p *Problem, opts tsp.Options) (*Solution, error) {
 		}
 		best, bestGain := -1, -1
 		for _, c := range coversSensor[s] {
-			gain := inst.Covers[c].CountAnd(uncovered)
+			gain := countUncovered(c, uncovered)
 			if gain > bestGain {
 				best, bestGain = c, gain
 			}
@@ -164,7 +184,9 @@ func PlanSweep(p *Problem, opts tsp.Options) (*Solution, error) {
 			return nil, fmt.Errorf("shdgp: sweep found no candidate for sensor %d", s)
 		}
 		chosen = append(chosen, best)
-		uncovered.AndNot(inst.Covers[best])
+		for _, sv := range inst.Cover(best) {
+			uncovered.Remove(int(sv))
+		}
 	}
 	sol := buildSolution(p, inst, chosen, opts, "shdg-sweep")
 	return sol, nil

@@ -18,6 +18,7 @@ import (
 // dropRedundantOracle is the pre-cache fixed-point implementation, kept
 // verbatim: remove the first redundant stop, restart, repeat.
 func dropRedundantOracle(inst *cover.Instance, chosen *[]int) bool {
+	covers := inst.CoverSets()
 	dropped := false
 	for {
 		cur := *chosen
@@ -26,10 +27,10 @@ func dropRedundantOracle(inst *cover.Instance, chosen *[]int) bool {
 			rest := bitset.New(inst.Universe)
 			for j, c := range cur {
 				if j != i {
-					rest.Or(inst.Covers[c])
+					rest.Or(covers[c])
 				}
 			}
-			if inst.Covers[cur[i]].SubsetOf(rest) {
+			if covers[cur[i]].SubsetOf(rest) {
 				removeAt = i
 				break
 			}
@@ -56,7 +57,7 @@ func TestDropRedundantMatchesOracle(t *testing.T) {
 		// Greedy covers are rarely redundant; pad with extra candidates so
 		// the removal path actually runs.
 		padded := append([]int(nil), chosen...)
-		for c := 0; c < len(inst.Covers) && len(padded) < len(chosen)+12; c += 5 {
+		for c := 0; c < inst.NumCandidates() && len(padded) < len(chosen)+12; c += 5 {
 			padded = append(padded, c)
 		}
 		got := append([]int(nil), padded...)
@@ -100,22 +101,23 @@ func relocateStopsOracle(p *Problem, inst *cover.Instance, chosen []int) bool {
 		prev[idx-1] = pts[tour[(ti-1+len(tour))%len(tour)]]
 		next[idx-1] = pts[tour[(ti+1)%len(tour)]]
 	}
+	covers := inst.CoverSets()
 	moved := false
 	for i := range chosen {
-		critical := inst.Covers[chosen[i]].Clone()
+		critical := covers[chosen[i]].Clone()
 		for j, c := range chosen {
 			if j != i {
-				critical.AndNot(inst.Covers[c])
+				critical.AndNot(covers[c])
 			}
 		}
 		cur := inst.Candidates[chosen[i]]
 		bestCost := prev[i].Dist(cur) + cur.Dist(next[i])
 		bestCand := chosen[i]
-		for c := range inst.Covers {
+		for c := range covers {
 			if c == chosen[i] {
 				continue
 			}
-			if !critical.SubsetOf(inst.Covers[c]) {
+			if !critical.SubsetOf(covers[c]) {
 				continue
 			}
 			alt := inst.Candidates[c]

@@ -49,10 +49,13 @@ func PlanExact(p *Problem, limits ExactLimits) (*Solution, error) {
 		return nil, err
 	}
 	inst, orig := instFull.Prune()
-	if len(inst.Covers) > limits.MaxCandidates {
+	if inst.NumCandidates() > limits.MaxCandidates {
 		return nil, fmt.Errorf("shdgp: exact solver limited to %d candidates, instance has %d after pruning",
-			limits.MaxCandidates, len(inst.Covers))
+			limits.MaxCandidates, inst.NumCandidates())
 	}
+	// Bounded to MaxCandidates candidates: the dense set view is cheap and
+	// keeps the enumeration on bitset algebra.
+	covers := inst.CoverSets()
 
 	// Incumbent from the heuristic planner: tight pruning from node one.
 	heur, err := Plan(p, DefaultPlannerOptions())
@@ -65,13 +68,13 @@ func PlanExact(p *Problem, limits ExactLimits) (*Solution, error) {
 
 	// coversSensor[s]: candidates covering s, largest cover first.
 	coversSensor := make([][]int, inst.Universe)
-	for c, set := range inst.Covers {
+	for c, set := range covers {
 		set.ForEach(func(s int) { coversSensor[s] = append(coversSensor[s], c) })
 	}
 	for s := range coversSensor {
 		cs := coversSensor[s]
 		for i := 1; i < len(cs); i++ {
-			for j := i; j > 0 && inst.Covers[cs[j]].Count() > inst.Covers[cs[j-1]].Count(); j-- {
+			for j := i; j > 0 && covers[cs[j]].Count() > covers[cs[j-1]].Count(); j-- {
 				cs[j], cs[j-1] = cs[j-1], cs[j]
 			}
 		}
@@ -128,12 +131,12 @@ func PlanExact(p *Problem, limits ExactLimits) (*Solution, error) {
 		}
 		s := uncovered.NextSet(0)
 		for _, c := range coversSensor[s] {
-			newly := inst.Covers[c].Clone()
+			newly := covers[c].Clone()
 			newly.And(uncovered)
 			if newly.Empty() {
 				continue // c covers nothing new on this branch
 			}
-			uncovered.AndNot(inst.Covers[c])
+			uncovered.AndNot(covers[c])
 			cur = append(cur, c)
 			rec()
 			cur = cur[:len(cur)-1]
@@ -176,7 +179,7 @@ func MinStopsILP(p *Problem, maxNodes int) (int, bool, error) {
 		return 0, false, err
 	}
 	inst, _ := full.Prune()
-	m := lp.SetCoverModel(inst.Universe, inst.Covers)
+	m := lp.SetCoverModel(inst.Universe, inst.CoverSets())
 	sol, err := m.SolveBinary(maxNodes)
 	if err != nil {
 		return 0, false, err

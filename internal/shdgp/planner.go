@@ -3,7 +3,6 @@ package shdgp
 import (
 	"fmt"
 
-	"mobicol/internal/bitset"
 	"mobicol/internal/cover"
 	"mobicol/internal/geom"
 	"mobicol/internal/obs"
@@ -123,13 +122,17 @@ func algorithmName(opts PlannerOptions) string {
 }
 
 // refineScratch holds the buffers the refinement passes share: coverage
-// counts, the per-sensor coverer lists, the critical-sensor set, and the
-// tour-neighbour arrays. Plan builds one per call and reuses it across
-// every refinement pass, so the passes themselves stay allocation-free.
+// counts, the per-sensor coverer lists (transposed covers), the
+// critical-sensor scratch, and the tour-neighbour arrays. Plan builds one
+// per call and reuses it across every refinement pass, so the passes
+// themselves stay allocation-free.
 type refineScratch struct {
-	counts   []int        // counts[s] = kept stops covering sensor s
-	coverers [][]int      // coverers[s] = candidates covering s, ascending
-	critical *bitset.Set  // scratch for one stop's critical sensors
+	counts []int // counts[s] = kept stops covering sensor s
+	// Transpose of the instance's CSR covers: sensor s is covered by
+	// candidates covIdx[covOff[s]:covOff[s+1]], ascending.
+	covOff   []int32
+	covIdx   []int32
+	critical []int32      // scratch for one stop's critical sensors, ascending
 	pts      []geom.Point // sink + stop positions for the proxy tour
 	prev     []geom.Point // prev[i] = tour predecessor of stop i
 	next     []geom.Point // next[i] = tour successor of stop i
@@ -138,21 +141,57 @@ type refineScratch struct {
 // newRefineScratch sizes the buffers for the instance. The coverer lists
 // depend only on the instance's candidate covers — not on the current
 // selection — so building them here once serves every refinement pass.
+// The transpose is a counting sort over the cover lists: two O(pairs)
+// passes, no per-sensor slice headers.
 //
 //mdglint:allow-alloc(refine scratch is built once per Plan and reused across all passes)
 func newRefineScratch(inst *cover.Instance) *refineScratch {
 	rs := &refineScratch{
-		counts:   make([]int, inst.Universe),
-		coverers: make([][]int, inst.Universe),
-		critical: bitset.New(inst.Universe),
+		counts: make([]int, inst.Universe),
+		covOff: make([]int32, inst.Universe+1),
 	}
-	for c := range inst.Covers {
-		set := inst.Covers[c]
-		for s := set.NextSet(0); s >= 0; s = set.NextSet(s + 1) {
-			rs.coverers[s] = append(rs.coverers[s], c)
+	total := 0
+	for c := 0; c < inst.NumCandidates(); c++ {
+		for _, s := range inst.Cover(c) {
+			rs.covOff[s+1]++
+		}
+		total += len(inst.Cover(c))
+	}
+	for s := 0; s < inst.Universe; s++ {
+		rs.covOff[s+1] += rs.covOff[s]
+	}
+	rs.covIdx = make([]int32, total)
+	fill := make([]int32, inst.Universe)
+	// Ascending candidate order per sensor falls out of the ascending
+	// outer loop — the same order the per-sensor append lists had.
+	for c := 0; c < inst.NumCandidates(); c++ {
+		for _, s := range inst.Cover(c) {
+			rs.covIdx[rs.covOff[s]+fill[s]] = int32(c)
+			fill[s]++
 		}
 	}
 	return rs
+}
+
+// coverersOf returns the candidates covering sensor s, ascending.
+func (rs *refineScratch) coverersOf(s int32) []int32 {
+	return rs.covIdx[rs.covOff[s]:rs.covOff[s+1]]
+}
+
+// subsetOfSorted reports whether every element of a (ascending) is also
+// in b (ascending).
+func subsetOfSorted(a, b []int32) bool {
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j >= len(b) || b[j] != v {
+			return false
+		}
+		j++
+	}
+	return true
 }
 
 // ensureTour grows the proxy-tour buffers to hold k stops.
@@ -175,8 +214,7 @@ func (rs *refineScratch) resetCounts(inst *cover.Instance, chosen []int) {
 		rs.counts[i] = 0
 	}
 	for _, c := range chosen {
-		set := inst.Covers[c]
-		for s := set.NextSet(0); s >= 0; s = set.NextSet(s + 1) {
+		for _, s := range inst.Cover(c) {
 			rs.counts[s]++
 		}
 	}
@@ -198,8 +236,7 @@ func dropRedundant(inst *cover.Instance, chosen *[]int, rs *refineScratch) bool 
 	rs.resetCounts(inst, cur)
 	counts := rs.counts
 	redundant := func(c int) bool {
-		set := inst.Covers[c]
-		for s := set.NextSet(0); s >= 0; s = set.NextSet(s + 1) {
+		for _, s := range inst.Cover(c) {
 			if counts[s] < 2 {
 				return false
 			}
@@ -210,8 +247,7 @@ func dropRedundant(inst *cover.Instance, chosen *[]int, rs *refineScratch) bool 
 	dropped := false
 	for _, c := range cur {
 		if redundant(c) {
-			set := inst.Covers[c]
-			for s := set.NextSet(0); s >= 0; s = set.NextSet(s + 1) {
+			for _, s := range inst.Cover(c) {
 				counts[s]--
 			}
 			dropped = true
@@ -259,23 +295,18 @@ func relocateStops(p *Problem, inst *cover.Instance, chosen []int, rs *refineScr
 	// same set the old per-stop O(k) bitset union produced.
 	rs.resetCounts(inst, chosen)
 	counts := rs.counts
-	// coverers[s] lists the candidates covering sensor s in ascending
-	// index order. Any replacement for stop i must cover all of i's
-	// critical sensors, so it suffices to scan the coverers of one of
-	// them — a handful of candidates instead of all of them — in the
-	// same ascending order the full scan used, preserving tie-breaks.
-	// The lists live in the scratch: they depend only on the instance.
-	coverers := rs.coverers
 	moved := false
-	critical := rs.critical
 	for i := range chosen {
-		critical.Clear()
-		cset := inst.Covers[chosen[i]]
-		for s := cset.NextSet(0); s >= 0; s = cset.NextSet(s + 1) {
+		// The critical set inherits ascending order from the cover list,
+		// so subset checks against other covers are sorted merges.
+		critical := rs.critical[:0]
+		for _, s := range inst.Cover(chosen[i]) {
 			if counts[s] == 1 {
-				critical.Add(s)
+				//mdglint:allow-alloc(append reuses critical-set capacity retained in the scratch)
+				critical = append(critical, s)
 			}
 		}
+		rs.critical = critical
 		cur := inst.Candidates[chosen[i]]
 		bestCost := prev[i].Dist(cur) + cur.Dist(next[i])
 		bestCand := chosen[i]
@@ -283,7 +314,7 @@ func relocateStops(p *Problem, inst *cover.Instance, chosen []int, rs *refineScr
 			if c == chosen[i] {
 				return
 			}
-			if !critical.SubsetOf(inst.Covers[c]) {
+			if !subsetOfSorted(critical, inst.Cover(c)) {
 				return
 			}
 			alt := inst.Candidates[c]
@@ -292,24 +323,25 @@ func relocateStops(p *Problem, inst *cover.Instance, chosen []int, rs *refineScr
 				bestCand = c
 			}
 		}
-		if s0 := critical.NextSet(0); s0 >= 0 {
-			for _, c := range coverers[s0] {
-				consider(c)
+		if len(critical) > 0 {
+			// Any replacement must cover every critical sensor, so scanning
+			// the coverers of the first one — ascending, like the full scan
+			// — preserves tie-breaks while touching a handful of candidates.
+			for _, c := range rs.coverersOf(critical[0]) {
+				consider(int(c))
 			}
 		} else {
 			// No critical sensors (the stop is redundant): every
 			// candidate qualifies, as in the full scan.
-			for c := range inst.Covers {
+			for c := 0; c < inst.NumCandidates(); c++ {
 				consider(c)
 			}
 		}
 		if bestCand != chosen[i] {
-			old := inst.Covers[chosen[i]]
-			for s := old.NextSet(0); s >= 0; s = old.NextSet(s + 1) {
+			for _, s := range inst.Cover(chosen[i]) {
 				counts[s]--
 			}
-			nw := inst.Covers[bestCand]
-			for s := nw.NextSet(0); s >= 0; s = nw.NextSet(s + 1) {
+			for _, s := range inst.Cover(bestCand) {
 				counts[s]++
 			}
 			chosen[i] = bestCand

@@ -18,10 +18,13 @@ const neighborK = 12
 // restricted to near neighbours finds almost all the improving moves of
 // the full quadratic scan at a fraction of the cost.
 //
-// The lists are built from a geom.GridIndex disk query with radius
-// doubling — expected O(k) work per point on uniform fields — and fall
-// back to a full sort only for degenerate geometry (all points
-// coincident) where a grid cannot be built.
+// The lists are built from an occupancy-auto-sized geom.GridIndex disk
+// query with radius doubling — expected O(k) work per point at any n —
+// with candidate distances computed through the flat-slice batch kernels,
+// and fall back to a full sort only for degenerate geometry (all points
+// coincident) where a grid cannot be built. The result is the exact
+// k-nearest set however the grid is sized, so the auto sizing never
+// changes a tour.
 func neighborLists(pts []geom.Point, k int) [][]int {
 	n := len(pts)
 	if k >= n {
@@ -31,15 +34,8 @@ func neighborLists(pts []geom.Point, k int) [][]int {
 	if k <= 0 {
 		return lists
 	}
-	minX, minY := pts[0].X, pts[0].Y
-	maxX, maxY := minX, minY
-	for _, p := range pts[1:] {
-		minX = min(minX, p.X)
-		minY = min(minY, p.Y)
-		maxX = max(maxX, p.X)
-		maxY = max(maxY, p.Y)
-	}
-	w, h := maxX-minX, maxY-minY
+	b := geom.Bound(pts)
+	w, h := b.Max.X-b.Min.X, b.Max.Y-b.Min.Y
 	span := max(w, h)
 	if !(span > 0) {
 		// Coincident points: no usable grid cell. Quadratic fallback.
@@ -48,11 +44,13 @@ func neighborLists(pts []geom.Point, k int) [][]int {
 		}
 		return lists
 	}
-	// ~1 point per cell in expectation keeps disk queries O(k).
-	cell := span / math.Ceil(math.Sqrt(float64(n)))
-	idx := geom.NewGridIndex(pts, cell)
+	idx := geom.NewGridIndexAuto(pts, 1)
+	cell := idx.CellSize()
 	diag := math.Hypot(w, h)
+	xs, ys := geom.SplitXY(pts, nil, nil)
 	buf := make([]int, 0, 4*k)
+	cand := make([]int32, 0, 4*k)
+	keys := make([]float64, 0, 4*k)
 	for i := range pts {
 		r := cell
 		others := 0
@@ -76,16 +74,47 @@ func neighborLists(pts []geom.Point, k int) [][]int {
 			lists[i] = sortedNeighbors(pts, i, k)
 			continue
 		}
-		cand := make([]int, 0, others)
+		cand = cand[:0]
 		for _, j := range buf {
 			if j != i {
-				cand = append(cand, j)
+				cand = append(cand, int32(j))
 			}
 		}
-		sortByDist(pts, i, cand)
-		lists[i] = cand[:k:k]
+		if cap(keys) < len(cand) {
+			keys = make([]float64, len(cand))
+		}
+		keys = keys[:len(cand)]
+		geom.Dist2Gather(xs, ys, cand, pts[i], keys)
+		sort.Sort(&distSorter{idx: cand, key: keys})
+		list := make([]int, k)
+		for j := range list {
+			list[j] = int(cand[j])
+		}
+		lists[i] = list
 	}
 	return lists
+}
+
+// distSorter orders candidate indices by ascending precomputed squared
+// distance, ties toward the lower index — the same total order
+// sortByDist's comparator produces, without recomputing distances per
+// comparison.
+type distSorter struct {
+	idx []int32
+	key []float64
+}
+
+func (d *distSorter) Len() int { return len(d.idx) }
+func (d *distSorter) Less(a, b int) bool {
+	//mdglint:ignore floateq sort comparator needs exact ordering; an epsilon would break strict weak ordering
+	if d.key[a] != d.key[b] {
+		return d.key[a] < d.key[b]
+	}
+	return d.idx[a] < d.idx[b]
+}
+func (d *distSorter) Swap(a, b int) {
+	d.idx[a], d.idx[b] = d.idx[b], d.idx[a]
+	d.key[a], d.key[b] = d.key[b], d.key[a]
 }
 
 // sortedNeighbors is the exact quadratic construction of one point's
@@ -184,6 +213,47 @@ func TwoOptNeighbors(pts []geom.Point, tour Tour, neigh [][]int) int {
 //
 //mdglint:hotpath
 func (s *Scratch) TwoOpt(pts []geom.Point, tour Tour, neigh [][]int) int {
+	return s.twoOpt(pts, tour, neigh, nil)
+}
+
+// TwoOptSeeded is TwoOpt with the work queue seeded from the given point
+// indices instead of the whole tour: only the seeds and points later
+// touched by improving moves are examined, so the pass cost scales with
+// the size of the disturbed region rather than the tour. Warm-start
+// repair seeds it with the stops around spliced or ejected segments. An
+// empty seed set is a no-op by construction.
+//
+//mdglint:hotpath
+func (s *Scratch) TwoOptSeeded(pts []geom.Point, tour Tour, neigh [][]int, seeds []int) int {
+	return s.twoOpt(pts, tour, neigh, seeds)
+}
+
+// seedQueue initialises the work queue: nil seeds enqueue the whole tour
+// with every don't-look bit clear (the full pass); explicit seeds enqueue
+// only themselves, with every other point parked behind a set bit until a
+// move wakes it.
+//
+//mdglint:hotpath
+func (s *Scratch) seedQueue(tour Tour, seeds []int) {
+	if seeds == nil {
+		//mdglint:allow-alloc(append reuses queue capacity retained in the scratch)
+		s.queue = append(s.queue, tour...)
+		return
+	}
+	for i := range s.dontLook {
+		s.dontLook[i] = true
+	}
+	for _, v := range seeds {
+		if s.dontLook[v] {
+			s.dontLook[v] = false
+			//mdglint:allow-alloc(append reuses queue capacity retained in the scratch)
+			s.queue = append(s.queue, v)
+		}
+	}
+}
+
+//mdglint:hotpath
+func (s *Scratch) twoOpt(pts []geom.Point, tour Tour, neigh [][]int, seeds []int) int {
 	n := len(tour)
 	if n < 4 {
 		return 0
@@ -193,8 +263,7 @@ func (s *Scratch) TwoOpt(pts []geom.Point, tour Tour, neigh [][]int) int {
 	for i, v := range tour {
 		pos[v] = i
 	}
-	//mdglint:allow-alloc(append reuses queue capacity retained in the scratch)
-	s.queue = append(s.queue, tour...)
+	s.seedQueue(tour, seeds)
 	head := 0
 	moves := 0
 	d := func(a, b int) float64 { return pts[a].Dist(pts[b]) }
@@ -371,6 +440,22 @@ func OrOptNeighbors(pts []geom.Point, tour Tour, neigh [][]int) int {
 //
 //mdglint:hotpath
 func (s *Scratch) OrOpt(pts []geom.Point, tour Tour, neigh [][]int) int {
+	return s.orOpt(pts, tour, neigh, nil)
+}
+
+// OrOptSeeded is OrOpt with the work queue seeded from the given point
+// indices, the relocation counterpart of TwoOptSeeded: only seeds and
+// points woken by improving moves anchor segment relocations. Warm-start
+// repair uses it to tidy the tour around spliced stops. An empty seed
+// set is a no-op by construction.
+//
+//mdglint:hotpath
+func (s *Scratch) OrOptSeeded(pts []geom.Point, tour Tour, neigh [][]int, seeds []int) int {
+	return s.orOpt(pts, tour, neigh, seeds)
+}
+
+//mdglint:hotpath
+func (s *Scratch) orOpt(pts []geom.Point, tour Tour, neigh [][]int, seeds []int) int {
 	n := len(tour)
 	if n < 5 {
 		return 0
@@ -384,8 +469,7 @@ func (s *Scratch) OrOpt(pts []geom.Point, tour Tour, neigh [][]int) int {
 		}
 	}
 	rebuild()
-	//mdglint:allow-alloc(append reuses queue capacity retained in the scratch)
-	s.queue = append(s.queue, tour...)
+	s.seedQueue(tour, seeds)
 	head := 0
 	moves := 0
 	maxSeg := min(3, n-3)
