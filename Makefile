@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint lint-json lint-fix-hints vet fmt bench check cover cover-update fuzz-smoke escape escape-update alloc-bench perf perf-update trace
+.PHONY: all build test race lint lint-json lint-fix-hints vet fmt bench check conformance cover cover-update fuzz-smoke escape escape-update alloc-bench perf perf-update trace
 
 all: check
 
@@ -48,6 +48,13 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# conformance runs the registry-wide planner contract suite under the
+# race detector — oracle validity, cross-pool determinism, cancellation
+# with leak checks, progress monotonicity — including the n=10k
+# cancellation-under-load smoke (CI job: engine-conformance).
+conformance:
+	$(GO) test -race -count=1 ./internal/engine/...
 
 # cover enforces the committed per-package coverage floors; cover-update
 # regenerates them (measured minus a 1-point jitter margin).

@@ -102,6 +102,32 @@ func TestCLIObstaclePipeline(t *testing.T) {
 	}
 }
 
+// TestCLIUnknownAlgo pins the algorithm-selection error path: an
+// unregistered -algo name must exit 2 (usage error, distinct from the
+// runtime-failure exit 1) and the message must list the registered
+// planner names so the fix is in the error itself.
+func TestCLIUnknownAlgo(t *testing.T) {
+	const want = `unknown algorithm "bogus" (registered: cla, exact, shdg, sweep, visit-all, warm)`
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"mdgplan", []string{"-algo", "bogus"}},
+		{"mdgbench", []string{"-algo", "bogus", "-e", "none"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, stderr, code := runExitCLI(t, tc.name, tc.args...)
+			if code != 2 {
+				t.Fatalf("%s %v exited %d, want 2\nstderr: %s", tc.name, tc.args, code, stderr)
+			}
+			if !strings.Contains(stderr, want) {
+				t.Fatalf("%s stderr missing %q:\n%s", tc.name, want, stderr)
+			}
+		})
+	}
+}
+
 func TestCLILifetime(t *testing.T) {
 	net, _ := runCLI(t, nil, "wsngen", "-n", "100", "-seed", "2")
 	out, _ := runCLI(t, []byte(net), "mdglife", "-battery", "0.01")

@@ -22,12 +22,14 @@ import (
 	"strings"
 
 	"mobicol/internal/bench"
+	"mobicol/internal/engine"
 	"mobicol/internal/obs"
 )
 
 func main() {
 	var (
 		exps     = flag.String("e", "all", "comma-separated experiment IDs (E1..E16), all, or none")
+		algoList = flag.String("algo", "", "comma-separated engine planner names for the -bench-out rows (default shdg,visit-all,cla)")
 		trials   = flag.Int("trials", 30, "random topologies per parameter point (paper: 500)")
 		seed     = flag.Uint64("seed", 1, "base seed")
 		workers  = flag.Int("workers", 0, "worker pool size for per-trial fan-out (0 = one per CPU, 1 = sequential; results are identical either way)")
@@ -42,6 +44,16 @@ func main() {
 	)
 	flag.Parse()
 	cfg := bench.Config{Trials: *trials, Seed: *seed, Workers: *workers, BenchN: *benchN, Check: *doCheck, WarmStart: *warm}
+	if *algoList != "" {
+		for _, name := range strings.Split(*algoList, ",") {
+			name = strings.TrimSpace(name)
+			if _, err := engine.Select(name); err != nil {
+				fmt.Fprintf(os.Stderr, "mdgbench: %v\n", err)
+				os.Exit(2)
+			}
+			cfg.Algos = append(cfg.Algos, name)
+		}
+	}
 	if *scale != "" {
 		sizes, err := parseSizes(*scale)
 		if err != nil {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,12 +19,12 @@ import (
 	"mobicol/internal/check"
 	"mobicol/internal/collector"
 	"mobicol/internal/energy"
+	"mobicol/internal/engine"
 	"mobicol/internal/geom"
 	"mobicol/internal/obs"
 	"mobicol/internal/obs/report"
 	"mobicol/internal/par"
 	"mobicol/internal/routing"
-	"mobicol/internal/shdgp"
 	"mobicol/internal/sim"
 	"mobicol/internal/wsn"
 )
@@ -106,39 +107,46 @@ func run() error {
 		return err
 	}
 
-	plannerOpts := shdgp.DefaultPlannerOptions()
-	plannerOpts.Obs = tr
-	problem := shdgp.NewProblem(nw)
-	problem.Pool = par.Workers(*workers)
-	sol, err := shdgp.Plan(problem, plannerOpts)
+	sc := engine.Scenario{Net: nw}
+	shdg, err := engine.Select("shdg")
 	if err != nil {
 		return err
 	}
-	claPlan, err := baselines.PlanCLA(nw)
+	shdgPl, shdgSt, err := shdg.Plan(context.Background(), sc,
+		engine.Options{Pool: par.Workers(*workers), Obs: tr})
 	if err != nil {
 		return err
 	}
+	cla, err := engine.Select("cla")
+	if err != nil {
+		return err
+	}
+	// The CLA baseline runs untraced: the lifetime trace's planning spans
+	// belong to the headline shdg planner only.
+	claPl, _, err := cla.Plan(context.Background(), sc, engine.Options{})
+	if err != nil {
+		return err
+	}
+	// The straight-line baseline is a multi-hop relay structure, not a
+	// tour plan, so it stays outside the engine seam.
 	slPlan, err := baselines.PlanStraightLine(nw, *tracks)
 	if err != nil {
 		return err
 	}
 	if *doCheck {
-		if err := check.Plan(nw, sol.Plan, check.Options{}); err != nil {
+		if err := check.Plan(nw, shdgPl.Tour, check.Options{}); err != nil {
 			return fmt.Errorf("shdg: %w", err)
 		}
-		if err := check.RecordedLength(sol.Plan, sol.Length); err != nil {
+		if err := check.RecordedLength(shdgPl.Tour, shdgSt.Length); err != nil {
 			return fmt.Errorf("shdg: %w", err)
 		}
-		claOpts := check.Options{UploadDist: func(i int) float64 {
-			return baselines.CLAUploadDistance(nw, claPlan, i)
-		}}
-		if err := check.Plan(nw, claPlan, claOpts); err != nil {
+		if err := check.Plan(nw, claPl.Tour, check.Options{UploadDist: claPl.UploadDist}); err != nil {
 			return fmt.Errorf("cla: %w", err)
 		}
 	}
 	schemes := []sim.Scheme{
-		sim.NewMobile("shdg", nw, sol.Plan),
-		sim.NewCLA(nw, claPlan),
+		sim.NewMobile("shdg", nw, shdgPl.Tour),
+		sim.NewCLA(nw, claPl.Tour),
 		sim.NewStraightLine(slPlan),
 		sim.NewStatic(routing.BuildPlan(nw)),
 	}
@@ -181,7 +189,7 @@ func run() error {
 	// occupancy at the busiest stop is the paper's motivation for
 	// bounding sensors per stop, and it reads straight off the trace.
 	desSpan := tr.Start("des")
-	rt, err := sim.DESMobileRoundObs(nw, sol.Plan, spec, desSpan)
+	rt, err := sim.DESMobileRoundObs(nw, shdgPl.Tour, spec, desSpan)
 	desSpan.End()
 	if err != nil {
 		return err

@@ -6,28 +6,30 @@
 //	mdgplan -net net.json -algo exact -svg tour.svg
 //	mdgplan -net net.json -algo shdg -k 3      # split across 3 collectors
 //
-// Algorithms: shdg (heuristic planner, default), exact (small instances),
-// visit-all (tour over every sensor), cla (covering-line baseline).
+// Algorithms come from the engine registry: shdg (heuristic planner,
+// default), exact (small instances), visit-all (tour over every sensor),
+// sweep (SPT-preorder ablation), cla (covering-line baseline), warm
+// (repair a previous plan; -warm-start selects it implicitly).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"mobicol/internal/baselines"
 	"mobicol/internal/check"
 	"mobicol/internal/collector"
 	"mobicol/internal/cover"
+	"mobicol/internal/engine"
 	"mobicol/internal/geom"
 	"mobicol/internal/mtsp"
 	"mobicol/internal/obs"
 	"mobicol/internal/obs/report"
 	"mobicol/internal/obstacle"
 	"mobicol/internal/par"
-	"mobicol/internal/replan"
-	"mobicol/internal/shdgp"
 	"mobicol/internal/tsp"
 	"mobicol/internal/viz"
 	"mobicol/internal/wsn"
@@ -36,6 +38,10 @@ import (
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintf(os.Stderr, "mdgplan: %v\n", err)
+		var unknown *engine.UnknownPlannerError
+		if errors.As(err, &unknown) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -43,7 +49,7 @@ func main() {
 func run() error {
 	var (
 		netPath    = flag.String("net", "-", "deployment JSON (wsngen output), or - for stdin")
-		algo       = flag.String("algo", "shdg", "shdg|exact|visit-all|cla")
+		algo       = flag.String("algo", "shdg", "planning algorithm (a registered engine name: shdg, exact, visit-all, sweep, cla, warm)")
 		candidates = flag.String("candidates", "sites", "sites|grid|intersections (shdg/exact)")
 		gridStep   = flag.Float64("grid", 20, "grid spacing for -candidates grid")
 		k          = flag.Int("k", 1, "number of collectors (>1 splits the tour)")
@@ -61,6 +67,17 @@ func run() error {
 		memProf    = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
+
+	// Resolve the planner before touching any input so an unknown -algo
+	// is a pure usage error (exit 2) that lists the registry.
+	plannerName := *algo
+	if *warmStart != "" {
+		plannerName = "warm"
+	}
+	planner, err := engine.Select(plannerName)
+	if err != nil {
+		return err
+	}
 
 	prof, err := obs.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -105,95 +122,58 @@ func run() error {
 		return runObstacles(nw, *obstPath, *svgPath, *speed)
 	}
 
-	p := shdgp.NewProblem(nw)
-	p.Pool = par.Workers(*workers)
+	engOpts := engine.Options{Pool: par.Workers(*workers), Obs: tr, GridSpacing: *gridStep}
 	switch *candidates {
 	case "sites":
-		p.Strategy = cover.SensorSites
+		engOpts.Strategy = cover.SensorSites
 	case "grid":
-		p.Strategy = cover.FieldGrid
-		p.GridSpacing = *gridStep
+		engOpts.Strategy = cover.FieldGrid
 	case "intersections":
-		p.Strategy = cover.Intersections
+		engOpts.Strategy = cover.Intersections
 	default:
 		return fmt.Errorf("unknown candidate strategy %q", *candidates)
 	}
 
-	var plan *collector.TourPlan
-	var label string
-	var sol *shdgp.Solution
+	sc := engine.Scenario{Net: nw}
 	if *warmStart != "" {
-		prevPlan, st, err := repairFrom(*warmStart, nw, par.Workers(*workers), tr)
+		prev, err := readPrevPlan(*warmStart)
 		if err != nil {
 			return err
 		}
+		sc.Prev = prev
+	}
+	pl, st, err := planner.Plan(context.Background(), sc, engOpts)
+	if err != nil {
+		return err
+	}
+	plan, label := pl.Tour, pl.Algorithm
+	if plannerName == "exact" && !st.Exact {
+		fmt.Fprintln(os.Stderr, "mdgplan: warning: node cap tripped; solution may be suboptimal")
+	}
+	if st.Warm != nil {
 		fmt.Printf("warm-start: kept %d, rehomed %d, recovered %d (+%d stops, -%d ejected, %d tour moves)\n",
-			st.Kept, st.Rehomed, st.Recovered, st.NewStops, st.Ejected, st.Moves)
-		plan, label = prevPlan, "warm-repair"
-	} else {
-		switch *algo {
-		case "shdg":
-			opts := shdgp.DefaultPlannerOptions()
-			opts.Obs = tr
-			sol, err = shdgp.Plan(p, opts)
-			if err != nil {
-				return err
-			}
-			plan, label = sol.Plan, sol.Algorithm
-		case "exact":
-			sol, err = shdgp.PlanExact(p, shdgp.DefaultExactLimits())
-			if err != nil {
-				return err
-			}
-			plan, label = sol.Plan, sol.Algorithm
-			if !sol.Exact {
-				fmt.Fprintln(os.Stderr, "mdgplan: warning: node cap tripped; solution may be suboptimal")
-			}
-		case "visit-all":
-			sol, err = shdgp.PlanVisitAll(p, tsp.DefaultOptions())
-			if err != nil {
-				return err
-			}
-			plan, label = sol.Plan, sol.Algorithm
-		case "cla":
-			plan, err = baselines.PlanCLA(nw)
-			if err != nil {
-				return err
-			}
-			label = "cla"
-		default:
-			return fmt.Errorf("unknown algorithm %q", *algo)
-		}
+			st.Warm.Kept, st.Warm.Rehomed, st.Warm.Recovered, st.Warm.NewStops, st.Warm.Ejected, st.Warm.Moves)
 	}
 
 	if *doCheck {
-		opts := check.Options{}
-		if *algo == "cla" {
-			// CLA stops are sweep-line endpoints; the collector uploads at
-			// the sensor's projection, so verify the true upload distance.
-			claPlan := plan
-			opts.UploadDist = func(i int) float64 {
-				return baselines.CLAUploadDistance(nw, claPlan, i)
-			}
-		}
-		if err := check.Plan(nw, plan, opts); err != nil {
+		// Planners whose recorded stops are not the physical upload
+		// points (CLA) carry their true upload distance on the plan.
+		if err := check.Plan(nw, plan, check.Options{UploadDist: pl.UploadDist}); err != nil {
 			return err
 		}
-		if sol != nil {
-			if err := check.RecordedLength(plan, sol.Length); err != nil {
-				return err
-			}
+		if err := check.RecordedLength(plan, st.Length); err != nil {
+			return err
 		}
 	}
 
 	spec := collector.Spec{Speed: geom.MetersPerSecond(*speed), UploadTime: 0.1}
 	fmt.Printf("network:    %v\n", nw)
 	fmt.Printf("algorithm:  %s\n", label)
-	if sol != nil {
+	if st.Cover != nil {
 		fmt.Printf("candidates: %d (%s strategy, %d sensors)\n",
-			sol.Stats.Candidates, p.Strategy, sol.Stats.Universe)
+			st.Cover.Candidates, engOpts.Strategy, st.Cover.Universe)
 		fmt.Printf("cover:      %d stops selected (%d after refinement), max %d sensors/stop\n",
-			sol.Stats.CoverStops, len(plan.Stops), sol.Stats.MaxSensorsPerStop)
+			st.Cover.CoverStops, len(plan.Stops), st.Cover.MaxSensorsPerStop)
 	}
 	fmt.Printf("stops:      %d\n", len(plan.Stops))
 	fmt.Printf("tour:       %.1f m\n", plan.Length())
@@ -254,25 +234,16 @@ func run() error {
 	return nil
 }
 
-// repairFrom reads a previous plan and warm-repairs it for nw, matching
-// sensors positionally (stable sensor ordering across scenario saves).
-func repairFrom(path string, nw *wsn.Network, pool par.Pool, tr *obs.Trace) (*collector.TourPlan, replan.Stats, error) {
+// readPrevPlan loads a previous plan (mdgplan -json output) for the warm
+// planner; sensors match positionally (stable ordering across saves).
+func readPrevPlan(path string) (*collector.TourPlan, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, replan.Stats{}, err
+		return nil, err
 	}
 	//mdglint:ignore errcheck input file is read-only; a close failure cannot lose data
 	defer f.Close()
-	prev, err := collector.ReadPlanJSON(f)
-	if err != nil {
-		return nil, replan.Stats{}, err
-	}
-	return replanRepair(nw, prev, pool, tr)
-}
-
-func replanRepair(nw *wsn.Network, prev *collector.TourPlan, pool par.Pool, tr *obs.Trace) (*collector.TourPlan, replan.Stats, error) {
-	carried := replan.CarryPositional(prev, nw.N())
-	return replan.Repair(nw, prev, carried, replan.Options{Pool: pool, Obs: tr})
+	return collector.ReadPlanJSON(f)
 }
 
 // runObstacles handles the -obstacles mode: obstacle-aware planning with

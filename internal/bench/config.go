@@ -6,6 +6,7 @@ import (
 	"mobicol/internal/baselines"
 	"mobicol/internal/check"
 	"mobicol/internal/collector"
+	"mobicol/internal/engine"
 	"mobicol/internal/par"
 	"mobicol/internal/shdgp"
 	"mobicol/internal/tsp"
@@ -43,6 +44,9 @@ type Config struct {
 	// WarmStart adds warm-start repair columns to the shdg scale rows
 	// (cmd/mdgbench -warm-start).
 	WarmStart bool
+	// Algos selects the engine planners the planner benchmark rows run
+	// (cmd/mdgbench -algo); empty selects the standard committed trio.
+	Algos []string
 }
 
 // DefaultConfig runs 30 trials per point.
@@ -67,6 +71,15 @@ func (c Config) benchN() int {
 	return c.BenchN
 }
 
+// algos resolves the planner benchmark's algorithm rows. The default is
+// the committed BENCH_planner.json trio, in its pinned order.
+func (c Config) algos() []string {
+	if len(c.Algos) == 0 {
+		return []string{"shdg", "visit-all", "cla"}
+	}
+	return c.Algos
+}
+
 // deploy builds the trial's network. The experiment tables only use
 // known-good parameters, so MustDeploy is safe here.
 func deploy(n int, side, r float64, seed uint64) *wsn.Network {
@@ -80,6 +93,19 @@ func planSHDG(nw *wsn.Network) (*shdgp.Solution, error) {
 
 // tspOpts is the tour configuration shared by the harness.
 func tspOpts() tsp.Options { return tsp.DefaultOptions() }
+
+// checkEnginePlan verifies an engine-produced plan against the invariant
+// oracles when cfg.Check is set; the plan's own UploadDist hook covers
+// planners (CLA) whose recorded stops are not the physical upload points.
+func (c Config) checkEnginePlan(name string, nw *wsn.Network, pl *engine.Plan) error {
+	if !c.Check {
+		return nil
+	}
+	if err := check.Plan(nw, pl.Tour, check.Options{UploadDist: pl.UploadDist}); err != nil {
+		return fmt.Errorf("bench: %s: %w", name, err)
+	}
+	return nil
+}
 
 // checkPlan verifies one harness-produced plan against the invariant
 // oracles when cfg.Check is set. algo selects the oracle options: CLA

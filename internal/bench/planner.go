@@ -1,18 +1,17 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"runtime"
 
-	"mobicol/internal/baselines"
+	"mobicol/internal/engine"
 	"mobicol/internal/geom"
 	"mobicol/internal/obs"
 	"mobicol/internal/par"
-	"mobicol/internal/shdgp"
-	"mobicol/internal/tsp"
 )
 
 // PlannerAlgoBench is one algorithm's row in BENCH_planner.json.
@@ -99,49 +98,28 @@ func PlannerBenchmarks(cfg Config) (*PlannerBenchResult, error) {
 		name string
 		plan func(tr *obs.Trace, seed uint64) (tourM geom.Meters, stops int, err error)
 	}
-	algos := []algoRun{
-		{"shdg", func(tr *obs.Trace, seed uint64) (geom.Meters, int, error) {
-			opts := shdgp.DefaultPlannerOptions()
-			opts.Obs = tr
+	// Each row is a registered engine planner; -algo swaps the set
+	// without touching the harness. Deployment happens outside the
+	// planner's spans (phase_ns bills planning, not generation), and the
+	// zero engine pool keeps each trial sequential — the fan-out lives at
+	// the trial level below.
+	var algos []algoRun
+	for _, name := range cfg.algos() {
+		p, err := engine.Select(name)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+		algos = append(algos, algoRun{name, func(tr *obs.Trace, seed uint64) (geom.Meters, int, error) {
 			nw := deploy(n, side, rng, seed)
-			sol, err := shdgp.Plan(shdgp.NewProblem(nw), opts)
+			pl, st, err := p.Plan(context.Background(), engine.Scenario{Net: nw}, engine.Options{Obs: tr})
 			if err != nil {
 				return 0, 0, err
 			}
-			if err := cfg.checkPlan("shdg", nw, sol.Plan); err != nil {
+			if err := cfg.checkEnginePlan(p.Name(), nw, pl); err != nil {
 				return 0, 0, err
 			}
-			return sol.Length, sol.Stops(), nil
-		}},
-		{"visit-all", func(tr *obs.Trace, seed uint64) (geom.Meters, int, error) {
-			root := tr.Start("plan")
-			defer root.End()
-			opts := tsp.DefaultOptions()
-			opts.Obs = root.Child("tsp")
-			nw := deploy(n, side, rng, seed)
-			sol, err := shdgp.PlanVisitAll(shdgp.NewProblem(nw), opts)
-			opts.Obs.End()
-			if err != nil {
-				return 0, 0, err
-			}
-			if err := cfg.checkPlan("visit-all", nw, sol.Plan); err != nil {
-				return 0, 0, err
-			}
-			return sol.Length, sol.Stops(), nil
-		}},
-		{"cla", func(tr *obs.Trace, seed uint64) (geom.Meters, int, error) {
-			root := tr.Start("plan")
-			defer root.End()
-			nw := deploy(n, side, rng, seed)
-			plan, err := baselines.PlanCLA(nw)
-			if err != nil {
-				return 0, 0, err
-			}
-			if err := cfg.checkPlan("cla", nw, plan); err != nil {
-				return 0, 0, err
-			}
-			return plan.Length(), len(plan.Stops), nil
-		}},
+			return st.Length, st.Stops, nil
+		}})
 	}
 	type trialOut struct {
 		tourM geom.Meters

@@ -5,69 +5,80 @@
 package check_test
 
 import (
+	"context"
 	"testing"
 
-	"mobicol/internal/baselines"
 	"mobicol/internal/check"
 	"mobicol/internal/collector"
 	"mobicol/internal/energy"
+	"mobicol/internal/engine"
 	"mobicol/internal/radio"
 	"mobicol/internal/shdgp"
 	"mobicol/internal/sim"
-	"mobicol/internal/tsp"
 )
 
 const acceptScenarios = 52
 
-func TestOracleAcceptsSHDG(t *testing.T) {
-	for _, sc := range check.Scenarios(0xACCE97, acceptScenarios) {
-		sc := sc
-		t.Run(sc.Name, func(t *testing.T) {
-			sol, err := shdgp.Plan(shdgp.NewProblem(sc.Net), shdgp.DefaultPlannerOptions())
-			if err != nil {
-				t.Fatalf("plan: %v", err)
-			}
-			if err := check.Plan(sc.Net, sol.Plan, check.Options{}); err != nil {
-				t.Fatal(err)
-			}
-			if err := check.RecordedLength(sol.Plan, sol.Length); err != nil {
-				t.Fatal(err)
-			}
-		})
+// acceptScenariosFor sizes the oracle sweep per planner: the exact
+// solver only admits tiny instances (candidate/stop limits), so its
+// sweep filters the generator down to small deployments.
+func acceptScenariosFor(name string) []check.Scenario {
+	if name == "exact" {
+		return smallScenarios(0xACCE97, 8, 12)
 	}
+	return check.Scenarios(0xACCE97, acceptScenarios)
 }
 
-func TestOracleAcceptsVisitAll(t *testing.T) {
-	for _, sc := range check.Scenarios(0xACCE97, acceptScenarios) {
-		sc := sc
-		t.Run(sc.Name, func(t *testing.T) {
-			sol, err := shdgp.PlanVisitAll(shdgp.NewProblem(sc.Net), tsp.DefaultOptions())
-			if err != nil {
-				t.Fatalf("visit-all: %v", err)
-			}
-			if err := check.Plan(sc.Net, sol.Plan, check.Options{}); err != nil {
-				t.Fatal(err)
-			}
-		})
+// smallScenarios generates count deployments with at most maxSensors
+// sensors, overshooting the generator so the filter still fills count.
+func smallScenarios(seed uint64, count, maxSensors int) []check.Scenario {
+	all := check.Scenarios(seed, 8*count)
+	out := make([]check.Scenario, 0, count)
+	for _, sc := range all {
+		if sc.Net.N() > maxSensors {
+			continue
+		}
+		out = append(out, sc)
+		if len(out) == count {
+			break
+		}
 	}
+	return out
 }
 
-func TestOracleAcceptsCLA(t *testing.T) {
-	for _, sc := range check.Scenarios(0xACCE97, acceptScenarios) {
-		sc := sc
-		t.Run(sc.Name, func(t *testing.T) {
-			plan, err := baselines.PlanCLA(sc.Net)
-			if err != nil {
-				t.Fatalf("cla: %v", err)
-			}
-			// CLA records sweep-line endpoints as stops; the collector
-			// actually uploads at the sensor's projection, so the oracle
-			// gets the true perpendicular upload distance.
-			opts := check.Options{UploadDist: func(i int) float64 {
-				return baselines.CLAUploadDistance(sc.Net, plan, i)
-			}}
-			if err := check.Plan(sc.Net, plan, opts); err != nil {
-				t.Fatal(err)
+// planThrough plans one scenario through a registered engine planner.
+func planThrough(t *testing.T, name string, sc check.Scenario) (*engine.Plan, engine.Stats) {
+	t.Helper()
+	p, ok := engine.Lookup(name)
+	if !ok {
+		t.Fatalf("planner %q not registered", name)
+	}
+	pl, st, err := p.Plan(context.Background(), engine.Scenario{Net: sc.Net}, engine.Options{})
+	if err != nil {
+		t.Fatalf("%s: plan %s: %v", name, sc.Name, err)
+	}
+	return pl, st
+}
+
+// TestOracleAcceptsRegisteredPlanners sweeps every registered planner —
+// one loop, no per-algorithm copies — over the generated scenario
+// families and requires the plan oracle and the recorded-length check to
+// accept every plan. Planners whose stops are not physical upload points
+// carry their own UploadDist, so the oracle needs no special cases.
+func TestOracleAcceptsRegisteredPlanners(t *testing.T) {
+	for _, name := range engine.Names() {
+		t.Run(name, func(t *testing.T) {
+			for _, sc := range acceptScenariosFor(name) {
+				sc := sc
+				t.Run(sc.Name, func(t *testing.T) {
+					pl, st := planThrough(t, name, sc)
+					if err := check.Plan(sc.Net, pl.Tour, check.Options{UploadDist: pl.UploadDist}); err != nil {
+						t.Fatal(err)
+					}
+					if err := check.RecordedLength(pl.Tour, st.Length); err != nil {
+						t.Fatal(err)
+					}
+				})
 			}
 		})
 	}

@@ -1,0 +1,96 @@
+package check
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB the check helpers need. It is a local
+// interface (not testing.TB) because internal/check links into the CLI
+// binaries, which must not import package testing.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// leakSettleAttempts x leakSettleWait bounds how long LeakedGoroutines
+// waits for goroutines started by fn to finish winding down. Half a
+// second is far beyond any orderly shutdown in this module; a goroutine
+// still alive after that is stuck, not slow.
+const (
+	leakSettleAttempts = 50
+	leakSettleWait     = 10 * time.Millisecond
+)
+
+// LeakedGoroutines runs fn and reports goroutines that outlive it. It
+// snapshots the live goroutine set before fn, runs fn, and then retries
+// the comparison (goroutines legitimately started by fn get a grace
+// period to exit) until the new set drains or the settle budget runs
+// out. A non-nil return carries the stacks of the leaked goroutines.
+//
+// The comparison is by goroutine id, so goroutines that already existed
+// before fn never count against it, even if they change state.
+func LeakedGoroutines(fn func()) error {
+	before := goroutineStacks()
+	fn()
+	var leaked map[string]string
+	for attempt := 0; attempt < leakSettleAttempts; attempt++ {
+		leaked = goroutineStacks()
+		for id := range leaked {
+			if _, ok := before[id]; ok {
+				delete(leaked, id)
+			}
+		}
+		if len(leaked) == 0 {
+			return nil
+		}
+		time.Sleep(leakSettleWait)
+	}
+	ids := make([]string, 0, len(leaked))
+	for id := range leaked {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "check: %d goroutine(s) leaked:", len(leaked))
+	for _, id := range ids {
+		sb.WriteString("\n\n")
+		sb.WriteString(leaked[id])
+	}
+	return fmt.Errorf("%s", sb.String())
+}
+
+// NoLeakedGoroutines is the test-facing form of LeakedGoroutines: it
+// fails tb with the leaked stacks instead of returning them.
+func NoLeakedGoroutines(tb TB, fn func()) {
+	tb.Helper()
+	if err := LeakedGoroutines(fn); err != nil {
+		tb.Errorf("%v", err)
+	}
+}
+
+// goroutineStacks snapshots every live goroutine's stack, keyed by the
+// goroutine id from its "goroutine N [state]:" header.
+func goroutineStacks() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	stacks := make(map[string]string)
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		header, _, _ := strings.Cut(block, "\n")
+		fields := strings.Fields(header)
+		if len(fields) >= 2 && fields[0] == "goroutine" {
+			stacks[fields[1]] = block
+		}
+	}
+	return stacks
+}

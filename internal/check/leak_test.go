@@ -1,0 +1,61 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// recordingTB captures Errorf calls so the failure path of the leak
+// checker can itself be tested.
+type recordingTB struct {
+	failures []string
+}
+
+func (r *recordingTB) Helper() {}
+func (r *recordingTB) Errorf(format string, args ...any) {
+	r.failures = append(r.failures, strings.TrimSpace(format))
+}
+
+func TestLeakedGoroutinesCleanFunction(t *testing.T) {
+	done := make(chan struct{})
+	err := LeakedGoroutines(func() {
+		// A goroutine that exits before (or shortly after) fn returns is
+		// not a leak: the checker gives it the settle grace period.
+		go func() { close(done) }()
+		<-done
+	})
+	if err != nil {
+		t.Fatalf("clean function reported a leak: %v", err)
+	}
+}
+
+func TestLeakedGoroutinesDetectsBlockedGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	err := LeakedGoroutines(func() {
+		go func() { <-release }()
+	})
+	if err == nil {
+		t.Fatal("blocked goroutine not reported")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "goroutine(s) leaked") || !strings.Contains(msg, "goroutine ") {
+		t.Fatalf("leak error carries no stacks: %q", msg)
+	}
+}
+
+func TestNoLeakedGoroutinesReportsThroughTB(t *testing.T) {
+	tb := &recordingTB{}
+	NoLeakedGoroutines(tb, func() {})
+	if len(tb.failures) != 0 {
+		t.Fatalf("clean function failed the TB: %v", tb.failures)
+	}
+	release := make(chan struct{})
+	defer close(release)
+	NoLeakedGoroutines(tb, func() {
+		go func() { <-release }()
+	})
+	if len(tb.failures) != 1 {
+		t.Fatalf("leak produced %d TB failures, want 1", len(tb.failures))
+	}
+}

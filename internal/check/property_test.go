@@ -1,100 +1,128 @@
 // Metamorphic property suite: transformations of a deployment with known
 // effects on the optimal tour must move the planner's output the same way.
+// The suite is parameterized over the engine registry, so every registered
+// planner — heuristic, exact, and baseline alike — faces the same
+// transformations with no per-algorithm copies.
 package check_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"mobicol/internal/check"
 	"mobicol/internal/collector"
+	"mobicol/internal/engine"
 	"mobicol/internal/geom"
-	"mobicol/internal/shdgp"
+	"mobicol/internal/wsn"
 )
 
 const propertyScenarios = 16
 
-func planLen(t *testing.T, sc check.Scenario) *shdgp.Solution {
-	t.Helper()
-	sol, err := shdgp.Plan(shdgp.NewProblem(sc.Net), shdgp.DefaultPlannerOptions())
-	if err != nil {
-		t.Fatalf("plan %s: %v", sc.Name, err)
+// propertyScenariosFor sizes the metamorphic sweep per planner: the exact
+// solver only admits tiny instances, so its sweep filters down to small
+// deployments (and fewer of them, since each costs an exhaustive search).
+func propertyScenariosFor(name string, seed uint64) []check.Scenario {
+	if name == "exact" {
+		return smallScenarios(seed, 6, 12)
 	}
-	return sol
+	return check.Scenarios(seed, propertyScenarios)
+}
+
+// planNet plans a bare network through a registered engine planner.
+func planNet(t *testing.T, name string, nw *wsn.Network) (*engine.Plan, engine.Stats) {
+	t.Helper()
+	p, ok := engine.Lookup(name)
+	if !ok {
+		t.Fatalf("planner %q not registered", name)
+	}
+	pl, st, err := p.Plan(context.Background(), engine.Scenario{Net: nw}, engine.Options{})
+	if err != nil {
+		t.Fatalf("%s: plan: %v", name, err)
+	}
+	return pl, st
 }
 
 // TestScaleScalesTourLength: scaling positions, sink, field, and range by k
 // turns a deployment into the geometrically similar problem, so the planned
 // tour must scale by k. Powers of two keep every coordinate exactly
-// representable, so the planner faces bit-identical comparisons and the
+// representable, so each planner faces bit-identical comparisons and the
 // lengths match to rounding noise.
 func TestScaleScalesTourLength(t *testing.T) {
-	for _, k := range []float64{2, 0.5} {
-		for _, sc := range check.Scenarios(0x5CA1E, propertyScenarios) {
-			sc := sc
-			base := planLen(t, sc)
-			scaled := check.Scenario{Name: sc.Name, Layout: sc.Layout, Net: check.Scale(sc.Net, k)}
-			got := planLen(t, scaled)
-			want := base.Length.Scale(k)
-			if math.Abs(float64(got.Length-want)) > 1e-9*(1+float64(want)) {
-				t.Fatalf("%s ×%g: scaled tour %.9f, want %.9f (base %.9f)",
-					sc.Name, k, got.Length, want, base.Length)
+	for _, name := range engine.Names() {
+		t.Run(name, func(t *testing.T) {
+			for _, k := range []float64{2, 0.5} {
+				for _, sc := range propertyScenariosFor(name, 0x5CA1E) {
+					_, baseSt := planNet(t, name, sc.Net)
+					scaled := check.Scale(sc.Net, k)
+					got, gotSt := planNet(t, name, scaled)
+					want := baseSt.Length.Scale(k)
+					if math.Abs(float64(gotSt.Length-want)) > 1e-9*(1+float64(want)) {
+						t.Fatalf("%s ×%g: scaled tour %.9f, want %.9f (base %.9f)",
+							sc.Name, k, gotSt.Length, want, baseSt.Length)
+					}
+					if err := check.Plan(scaled, got.Tour, check.Options{UploadDist: got.UploadDist}); err != nil {
+						t.Fatalf("%s ×%g: %v", sc.Name, k, err)
+					}
+				}
 			}
-			if err := check.Plan(scaled.Net, got.Plan, check.Options{}); err != nil {
-				t.Fatalf("%s ×%g: %v", sc.Name, k, err)
-			}
-		}
+		})
 	}
 }
 
 // TestTranslateKeepsTourLength: translating the whole deployment changes no
 // pairwise distance, so the tour length must be invariant. Translation is
-// not exact in floating point (absolute coordinates shift), so the planner
+// not exact in floating point (absolute coordinates shift), so a planner
 // may legitimately make different tie-breaks; a relative tolerance that
 // admits rounding but not structural drift pins the property.
 func TestTranslateKeepsTourLength(t *testing.T) {
 	d := geom.Pt(512, 1024) // power-of-two shift keeps most coordinates exact
-	for _, sc := range check.Scenarios(0x7A155, propertyScenarios) {
-		sc := sc
-		base := planLen(t, sc)
-		moved := check.Translate(sc.Net, d)
-		got, err := shdgp.Plan(shdgp.NewProblem(moved), shdgp.DefaultPlannerOptions())
-		if err != nil {
-			t.Fatalf("%s: %v", sc.Name, err)
-		}
-		if math.Abs(float64(got.Length-base.Length)) > 1e-6*(1+float64(base.Length)) {
-			t.Fatalf("%s: translated tour %.9f, base %.9f", sc.Name, got.Length, base.Length)
-		}
-		if err := check.Plan(moved, got.Plan, check.Options{}); err != nil {
-			t.Fatalf("%s: %v", sc.Name, err)
-		}
+	for _, name := range engine.Names() {
+		t.Run(name, func(t *testing.T) {
+			for _, sc := range propertyScenariosFor(name, 0x7A155) {
+				_, baseSt := planNet(t, name, sc.Net)
+				moved := check.Translate(sc.Net, d)
+				got, gotSt := planNet(t, name, moved)
+				if math.Abs(float64(gotSt.Length-baseSt.Length)) > 1e-6*(1+float64(baseSt.Length)) {
+					t.Fatalf("%s: translated tour %.9f, base %.9f", sc.Name, gotSt.Length, baseSt.Length)
+				}
+				if err := check.Plan(moved, got.Tour, check.Options{UploadDist: got.UploadDist}); err != nil {
+					t.Fatalf("%s: %v", sc.Name, err)
+				}
+			}
+		})
 	}
 }
 
 // TestAddSensorNeverInvalidatesCoverage: duplicating an existing sensor
 // adds no geometric difficulty — the base plan extended with the same
 // assignment must still pass the oracle against the grown network, and
-// replanning the grown network must also pass.
+// replanning the grown network must also pass. The extension sub-check
+// only applies to planners whose stops are physical upload points
+// (UploadDist == nil): a custom upload-distance hook is bound to the base
+// network and cannot be reused against the grown one.
 func TestAddSensorNeverInvalidatesCoverage(t *testing.T) {
-	for _, sc := range check.Scenarios(0xADD5E, propertyScenarios) {
-		sc := sc
-		base := planLen(t, sc)
-		dup := sc.Net.Nodes[0].Pos
-		grown := check.WithSensor(sc.Net, dup)
-		extended := &collector.TourPlan{
-			Sink:     base.Plan.Sink,
-			Stops:    base.Plan.Stops,
-			UploadAt: append(append([]int(nil), base.Plan.UploadAt...), base.Plan.UploadAt[0]),
-		}
-		if err := check.Plan(grown, extended, check.Options{}); err != nil {
-			t.Fatalf("%s: extending a valid plan to a duplicate sensor broke it: %v", sc.Name, err)
-		}
-		replanned, err := shdgp.Plan(shdgp.NewProblem(grown), shdgp.DefaultPlannerOptions())
-		if err != nil {
-			t.Fatalf("%s: %v", sc.Name, err)
-		}
-		if err := check.Plan(grown, replanned.Plan, check.Options{}); err != nil {
-			t.Fatalf("%s: %v", sc.Name, err)
-		}
+	for _, name := range engine.Names() {
+		t.Run(name, func(t *testing.T) {
+			for _, sc := range propertyScenariosFor(name, 0xADD5E) {
+				base, _ := planNet(t, name, sc.Net)
+				dup := sc.Net.Nodes[0].Pos
+				grown := check.WithSensor(sc.Net, dup)
+				if base.UploadDist == nil {
+					extended := &collector.TourPlan{
+						Sink:     base.Tour.Sink,
+						Stops:    base.Tour.Stops,
+						UploadAt: append(append([]int(nil), base.Tour.UploadAt...), base.Tour.UploadAt[0]),
+					}
+					if err := check.Plan(grown, extended, check.Options{}); err != nil {
+						t.Fatalf("%s: extending a valid plan to a duplicate sensor broke it: %v", sc.Name, err)
+					}
+				}
+				replanned, _ := planNet(t, name, grown)
+				if err := check.Plan(grown, replanned.Tour, check.Options{UploadDist: replanned.UploadDist}); err != nil {
+					t.Fatalf("%s: %v", sc.Name, err)
+				}
+			}
+		})
 	}
 }

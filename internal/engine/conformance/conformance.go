@@ -1,0 +1,289 @@
+// Package conformance is the registry-driven verification net for engine
+// planners: one suite that holds every registered Planner — current and
+// future — to the same contract. A new algorithm inherits the whole net
+// by calling engine.Register; the suite's per-planner checks are:
+//
+//   - registry round-trip: the planner is reachable under its own name;
+//   - oracle validity: every plan over the seeded 4-family scenario
+//     generator passes the internal/check single-hop oracle, its
+//     recorded length matches its geometry, and its stop count is
+//     consistent;
+//   - determinism: same-seed runs are bit-identical, and Workers(1)
+//     equals Workers(8) bit-for-bit;
+//   - cancellation: a canceled context returns context.Canceled with a
+//     nil plan and zero leaked goroutines, both when canceled before the
+//     call and when canceled mid-plan;
+//   - progress: the event stream is non-empty, strictly
+//     sequence-monotonic, correctly attributed, and well-nested (no
+//     span ends before it starts; at least one span completes).
+package conformance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"mobicol/internal/check"
+	"mobicol/internal/engine"
+	"mobicol/internal/par"
+)
+
+// Config sizes a conformance run.
+type Config struct {
+	// Seed feeds the scenario generator (default 1).
+	Seed uint64
+	// Scenarios is how many generated deployments to sweep (default 8).
+	Scenarios int
+	// MaxSensors, when positive, filters the generated deployments to
+	// n <= MaxSensors. Expensive planners (the exact solver) set this to
+	// keep instances inside their limits.
+	MaxSensors int
+	// Workers is the pool width determinism is compared against
+	// sequential planning (default 8).
+	Workers int
+}
+
+// withDefaults fills unset Config fields.
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scenarios <= 0 {
+		c.Scenarios = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	return c
+}
+
+// scenarios generates the deployments a run sweeps: the seeded 4-family
+// generator, filtered to the config's sensor cap. Generation overshoots
+// so a tight cap still yields cfg.Scenarios deployments.
+func (c Config) scenarios() []check.Scenario {
+	all := check.Scenarios(c.Seed, 4*c.Scenarios)
+	out := make([]check.Scenario, 0, c.Scenarios)
+	for _, sc := range all {
+		if c.MaxSensors > 0 && sc.Net.N() > c.MaxSensors {
+			continue
+		}
+		out = append(out, sc)
+		if len(out) == c.Scenarios {
+			break
+		}
+	}
+	return out
+}
+
+// Run executes the suite against p and reports every violation on tb.
+func Run(tb check.TB, p engine.Planner, cfg Config) {
+	tb.Helper()
+	for _, err := range Suite(p, cfg) {
+		tb.Errorf("conformance: %v", err)
+	}
+}
+
+// Suite executes the full conformance suite against p and returns every
+// contract violation found (nil for a fully conformant planner).
+func Suite(p engine.Planner, cfg Config) []error {
+	cfg = cfg.withDefaults()
+	var errs []error
+	report := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	name := p.Name()
+	if got, ok := engine.Lookup(name); !ok {
+		report("%s: registry round-trip: planner not registered under its own name", name)
+	} else if got != p {
+		report("%s: registry round-trip: Lookup returned a different planner", name)
+	}
+	found := false
+	for _, n := range engine.Names() {
+		if n == name {
+			found = true
+			break
+		}
+	}
+	if !found {
+		report("%s: registry round-trip: Names() does not list the planner", name)
+	}
+
+	scens := cfg.scenarios()
+	if len(scens) == 0 {
+		report("%s: no scenarios survived the MaxSensors=%d filter", name, cfg.MaxSensors)
+		return errs
+	}
+
+	for _, sc := range scens {
+		checkOracle(p, sc, report)
+		checkDeterminism(p, sc, cfg.Workers, report)
+	}
+	// Cancellation and progress probe behavior, not output; one scenario
+	// each keeps the suite's cost dominated by the oracle sweep.
+	checkCancellation(p, scens[0], report)
+	checkProgress(p, scens[0], report)
+	return errs
+}
+
+// checkOracle plans one scenario and verifies the result against the
+// plan oracle and the planner's own bookkeeping.
+func checkOracle(p engine.Planner, sc check.Scenario, report func(string, ...any)) {
+	pl, st, err := p.Plan(context.Background(), engine.Scenario{Net: sc.Net}, engine.Options{})
+	if err != nil {
+		report("%s: %s: plan failed: %v", p.Name(), sc.Name, err)
+		return
+	}
+	if pl == nil || pl.Tour == nil {
+		report("%s: %s: plan succeeded but returned no tour", p.Name(), sc.Name)
+		return
+	}
+	if err := check.Plan(sc.Net, pl.Tour, check.Options{UploadDist: pl.UploadDist}); err != nil {
+		report("%s: %s: oracle: %v", p.Name(), sc.Name, err)
+	}
+	if err := check.RecordedLength(pl.Tour, st.Length); err != nil {
+		report("%s: %s: stats: %v", p.Name(), sc.Name, err)
+	}
+	if st.Stops != len(pl.Tour.Stops) {
+		report("%s: %s: stats: Stops=%d but the tour has %d stops",
+			p.Name(), sc.Name, st.Stops, len(pl.Tour.Stops))
+	}
+}
+
+// checkDeterminism verifies bit-identical output across a same-input
+// re-run and across pool widths (sequential vs cfgWorkers workers).
+func checkDeterminism(p engine.Planner, sc check.Scenario, workers int, report func(string, ...any)) {
+	runs := []struct {
+		label string
+		pool  par.Pool
+	}{
+		{"workers=1 run A", par.Workers(1)},
+		{"workers=1 run B", par.Workers(1)},
+		{fmt.Sprintf("workers=%d", workers), par.Workers(workers)},
+	}
+	var base string
+	for i, r := range runs {
+		pl, st, err := p.Plan(context.Background(), engine.Scenario{Net: sc.Net}, engine.Options{Pool: r.pool})
+		if err != nil {
+			report("%s: %s: determinism: %s failed: %v", p.Name(), sc.Name, r.label, err)
+			return
+		}
+		fp := fingerprint(pl, st)
+		if i == 0 {
+			base = fp
+			continue
+		}
+		if fp != base {
+			report("%s: %s: determinism: %s diverged from %s:\n  %s\n  vs\n  %s",
+				p.Name(), sc.Name, r.label, runs[0].label, fp, base)
+		}
+	}
+}
+
+// fingerprint captures everything the determinism contract pins about a
+// planner's output, with float64 fields rendered through math.Float64bits
+// so "equal" means bit-identical, not approximately close.
+func fingerprint(pl *engine.Plan, st engine.Stats) string {
+	var sb strings.Builder
+	//mdglint:ignore unitcheck fingerprint boundary: the length is hashed via Float64bits, not used as a number
+	lenBits := math.Float64bits(float64(st.Length))
+	fmt.Fprintf(&sb, "algo=%s len=%016x stops=%d exact=%t",
+		pl.Algorithm, lenBits, st.Stops, st.Exact)
+	fmt.Fprintf(&sb, " sink=%016x,%016x",
+		math.Float64bits(pl.Tour.Sink.X), math.Float64bits(pl.Tour.Sink.Y))
+	for _, s := range pl.Tour.Stops {
+		fmt.Fprintf(&sb, " %016x,%016x", math.Float64bits(s.X), math.Float64bits(s.Y))
+	}
+	sb.WriteString(" upload=")
+	for _, u := range pl.Tour.UploadAt {
+		fmt.Fprintf(&sb, "%d,", u)
+	}
+	return sb.String()
+}
+
+// checkCancellation verifies the context contract: a canceled context —
+// whether canceled before the call or mid-plan — yields context.Canceled
+// promptly, a nil plan, and no goroutines left behind.
+func checkCancellation(p engine.Planner, sc check.Scenario, report func(string, ...any)) {
+	leak := check.LeakedGoroutines(func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		pl, _, err := p.Plan(ctx, engine.Scenario{Net: sc.Net}, engine.Options{Pool: par.Workers(4)})
+		if !errors.Is(err, context.Canceled) {
+			report("%s: pre-canceled context: want context.Canceled, got err=%v", p.Name(), err)
+		}
+		if pl != nil {
+			report("%s: pre-canceled context: got a non-nil plan alongside cancellation", p.Name())
+		}
+	})
+	if leak != nil {
+		report("%s: pre-canceled context: %v", p.Name(), leak)
+	}
+
+	leak = check.LeakedGoroutines(func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		// Cancel from inside the planner's own progress stream: the first
+		// span edge fires strictly before the planner's exit boundary, so
+		// a conformant planner must notice before returning.
+		pl, _, err := p.Plan(ctx, engine.Scenario{Net: sc.Net}, engine.Options{
+			Pool:     par.Workers(4),
+			Progress: func(engine.Event) { cancel() },
+		})
+		if !errors.Is(err, context.Canceled) {
+			report("%s: mid-plan cancel: want context.Canceled, got err=%v", p.Name(), err)
+		}
+		if pl != nil {
+			report("%s: mid-plan cancel: got a non-nil plan alongside cancellation", p.Name())
+		}
+	})
+	if leak != nil {
+		report("%s: mid-plan cancel: %v", p.Name(), leak)
+	}
+}
+
+// checkProgress verifies the progress-event contract: a non-empty
+// stream, strictly increasing sequence numbers, correct planner
+// attribution, no span ending before it starts, and at least one
+// completed span.
+func checkProgress(p engine.Planner, sc check.Scenario, report func(string, ...any)) {
+	var events []engine.Event
+	_, _, err := p.Plan(context.Background(), engine.Scenario{Net: sc.Net}, engine.Options{
+		Progress: func(ev engine.Event) { events = append(events, ev) },
+	})
+	if err != nil {
+		report("%s: progress: plan failed: %v", p.Name(), err)
+		return
+	}
+	if len(events) == 0 {
+		report("%s: progress: planner emitted no events", p.Name())
+		return
+	}
+	started := map[int]bool{}
+	ended := false
+	for i, ev := range events {
+		if ev.Planner != p.Name() {
+			report("%s: progress: event %d attributed to %q", p.Name(), i, ev.Planner)
+		}
+		if ev.Seq <= 0 {
+			report("%s: progress: event %d has non-positive Seq %d", p.Name(), i, ev.Seq)
+		}
+		if i > 0 && ev.Seq <= events[i-1].Seq {
+			report("%s: progress: Seq not strictly increasing at event %d (%d after %d)",
+				p.Name(), i, ev.Seq, events[i-1].Seq)
+		}
+		if ev.Done {
+			if !started[ev.Span] {
+				report("%s: progress: span %d (%s) ended without starting", p.Name(), ev.Span, ev.Phase)
+			}
+			ended = true
+		} else {
+			started[ev.Span] = true
+		}
+	}
+	if !ended {
+		report("%s: progress: no span ever completed", p.Name())
+	}
+}

@@ -1,0 +1,249 @@
+// Unit tests for the engine seam itself: registry lifecycle, the planner
+// wrapper's contract checks (nil network, cancellation at entry/exit,
+// progress wiring), and each adapter's success path. The registry-wide
+// behavioral guarantees live in engine/conformance; this file pins the
+// package's own mechanics for the coverage ratchet.
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"mobicol/internal/cover"
+	"mobicol/internal/engine"
+	"mobicol/internal/replan"
+	"mobicol/internal/wsn"
+)
+
+func testNet(t *testing.T, n int, seed uint64) *wsn.Network {
+	t.Helper()
+	nw, err := wsn.Deploy(wsn.Config{N: n, FieldSide: 100, Range: 30, Seed: seed})
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	return nw
+}
+
+func mustPlanner(t *testing.T, name string) engine.Planner {
+	t.Helper()
+	p, err := engine.Select(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// fakePlanner is a minimal Planner for registry tests.
+type fakePlanner struct{ name string }
+
+func (f *fakePlanner) Name() string { return f.name }
+func (f *fakePlanner) Plan(context.Context, engine.Scenario, engine.Options) (*engine.Plan, engine.Stats, error) {
+	return nil, engine.Stats{}, errors.New("fake planner does not plan")
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	f := &fakePlanner{name: "fake-lifecycle"}
+	engine.Register(f.name, f)
+	defer engine.Unregister(f.name)
+
+	got, ok := engine.Lookup(f.name)
+	if !ok || got != engine.Planner(f) {
+		t.Fatalf("Lookup(%q) = %v, %v; want the registered planner", f.name, got, ok)
+	}
+	names := engine.Names()
+	found := false
+	for i, n := range names {
+		if n == f.name {
+			found = true
+		}
+		if i > 0 && names[i-1] >= n {
+			t.Fatalf("Names() not strictly sorted: %v", names)
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v missing %q", names, f.name)
+	}
+
+	engine.Unregister(f.name)
+	if _, ok := engine.Lookup(f.name); ok {
+		t.Fatalf("Lookup(%q) succeeded after Unregister", f.name)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	cases := []struct {
+		label string
+		reg   func()
+	}{
+		{"empty name", func() { engine.Register("", &fakePlanner{}) }},
+		{"nil planner", func() { engine.Register("fake-nil", nil) }},
+		{"duplicate", func() { engine.Register("shdg", &fakePlanner{name: "shdg"}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.label, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Register with %s did not panic", tc.label)
+				}
+			}()
+			tc.reg()
+		})
+	}
+}
+
+func TestSelectUnknownListsRegistered(t *testing.T) {
+	if _, err := engine.Select("shdg"); err != nil {
+		t.Fatalf("Select(shdg): %v", err)
+	}
+	_, err := engine.Select("bogus")
+	var unknown *engine.UnknownPlannerError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("Select(bogus) = %v, want *UnknownPlannerError", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{`"bogus"`, "registered:", "shdg", "cla"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestAdaptersProduceValidPlans runs every registered adapter's success
+// path on a small deployment and checks the Plan/Stats invariants the
+// CLIs rely on.
+func TestAdaptersProduceValidPlans(t *testing.T) {
+	nw := testNet(t, 25, 3)
+	for _, name := range engine.Names() {
+		t.Run(name, func(t *testing.T) {
+			p := mustPlanner(t, name)
+			if p.Name() != name {
+				t.Fatalf("Name() = %q, want %q", p.Name(), name)
+			}
+			pl, st, err := p.Plan(context.Background(), engine.Scenario{Net: nw}, engine.Options{})
+			if err != nil {
+				t.Fatalf("plan: %v", err)
+			}
+			if pl == nil || pl.Tour == nil || pl.Algorithm == "" {
+				t.Fatalf("plan = %+v", pl)
+			}
+			if st.Stops != len(pl.Tour.Stops) {
+				t.Fatalf("Stats.Stops = %d, tour has %d", st.Stops, len(pl.Tour.Stops))
+			}
+			if st.Length <= 0 {
+				t.Fatalf("Stats.Length = %v", st.Length)
+			}
+		})
+	}
+}
+
+func TestExactReportsCoverStats(t *testing.T) {
+	nw := testNet(t, 8, 5)
+	_, st, err := mustPlanner(t, "exact").Plan(context.Background(), engine.Scenario{Net: nw}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cover == nil {
+		t.Fatal("exact solution carries no cover stats")
+	}
+	if !st.Exact {
+		t.Fatalf("n=8 instance fell back to the heuristic: %+v", st)
+	}
+}
+
+func TestGridStrategyOption(t *testing.T) {
+	nw := testNet(t, 25, 3)
+	opts := engine.Options{Strategy: cover.FieldGrid, GridSpacing: 20}
+	pl, st, err := mustPlanner(t, "shdg").Plan(context.Background(), engine.Scenario{Net: nw}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Tour == nil || st.Cover == nil {
+		t.Fatalf("grid-strategy plan = %+v stats = %+v", pl, st)
+	}
+}
+
+func TestPlanRejectsMissingNetwork(t *testing.T) {
+	_, _, err := mustPlanner(t, "shdg").Plan(context.Background(), engine.Scenario{}, engine.Options{})
+	if err == nil || !strings.Contains(err.Error(), "no network") {
+		t.Fatalf("err = %v, want a no-network error", err)
+	}
+}
+
+func TestPlanHonorsPreCanceledContext(t *testing.T) {
+	nw := testNet(t, 25, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pl, _, err := mustPlanner(t, "shdg").Plan(ctx, engine.Scenario{Net: nw}, engine.Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if pl != nil {
+		t.Fatalf("canceled plan returned a result: %+v", pl)
+	}
+}
+
+func TestProgressEventsAttributedAndOrdered(t *testing.T) {
+	nw := testNet(t, 25, 3)
+	var events []engine.Event
+	opts := engine.Options{Progress: func(e engine.Event) { events = append(events, e) }}
+	if _, _, err := mustPlanner(t, "shdg").Plan(context.Background(), engine.Scenario{Net: nw}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	for i, e := range events {
+		if e.Planner != "shdg" {
+			t.Fatalf("event %d attributed to %q", i, e.Planner)
+		}
+		if e.Seq != i+1 {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+		if e.Phase == "" {
+			t.Fatalf("event %d has empty phase", i)
+		}
+	}
+}
+
+func TestMidPlanCancellationViaProgress(t *testing.T) {
+	nw := testNet(t, 40, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := engine.Options{Progress: func(engine.Event) { cancel() }}
+	_, _, err := mustPlanner(t, "shdg").Plan(ctx, engine.Scenario{Net: nw}, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestWarmStartPaths(t *testing.T) {
+	nw := testNet(t, 30, 7)
+	warm := mustPlanner(t, "warm")
+
+	// Cold: no previous plan falls back to the heuristic.
+	coldPl, coldSt, err := warm.Plan(context.Background(), engine.Scenario{Net: nw}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldSt.Warm != nil {
+		t.Fatalf("cold start reports repair stats: %+v", coldSt.Warm)
+	}
+
+	// Warm with positional carry inferred from the previous plan.
+	sc := engine.Scenario{Net: nw, Prev: coldPl.Tour}
+	warmPl, warmSt, err := warm.Plan(context.Background(), sc, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmSt.Warm == nil || warmPl.Algorithm != "warm-repair" {
+		t.Fatalf("warm start = %+v stats = %+v", warmPl, warmSt)
+	}
+
+	// Warm with an explicit carried assignment.
+	sc.Carried = replan.CarryPositional(coldPl.Tour, nw.N())
+	if _, st, err := warm.Plan(context.Background(), sc, engine.Options{}); err != nil || st.Warm == nil {
+		t.Fatalf("explicit carry: %v, stats %+v", err, st)
+	}
+}

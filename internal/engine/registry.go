@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+//mdglint:ignore globalvar registry lock: guards the process-wide planner table below
+var registryMu sync.RWMutex
+
+//mdglint:ignore globalvar process-wide planner table, written only at init (Register) and in conformance tests (Unregister), always under registryMu
+var registry = map[string]Planner{}
+
+// Register adds p to the planner registry under name. It panics on an
+// empty name, a nil planner, or a duplicate registration — registration
+// happens in package init functions, where a conflict is a programming
+// error that should fail fast and loudly.
+func Register(name string, p Planner) {
+	if name == "" {
+		//mdglint:ignore nopanic init-time registration conflict is a programming error; fail fast like http.Handle
+		panic("engine: Register with empty planner name")
+	}
+	if p == nil {
+		//mdglint:ignore nopanic init-time registration conflict is a programming error; fail fast like http.Handle
+		panic(fmt.Sprintf("engine: Register(%q) with nil planner", name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		//mdglint:ignore nopanic init-time registration conflict is a programming error; fail fast like http.Handle
+		panic(fmt.Sprintf("engine: planner %q registered twice", name))
+	}
+	registry[name] = p
+}
+
+// Unregister removes name from the registry (a no-op for unknown names).
+// It exists for tests that register fixture planners; production code
+// only ever registers.
+func Unregister(name string) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	delete(registry, name)
+}
+
+// Lookup returns the planner registered under name.
+func Lookup(name string) (Planner, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	p, ok := registry[name]
+	return p, ok
+}
+
+// UnknownPlannerError reports an algorithm name with no registered
+// planner, spelling out the valid vocabulary. The CLIs treat it as a
+// usage error (exit 2), distinct from runtime failures (exit 1).
+type UnknownPlannerError struct {
+	Name string
+}
+
+func (e *UnknownPlannerError) Error() string {
+	return fmt.Sprintf("unknown algorithm %q (registered: %s)", e.Name, strings.Join(Names(), ", "))
+}
+
+// Select resolves name to a registered planner; unknown names return an
+// *UnknownPlannerError listing what is registered.
+func Select(name string) (Planner, error) {
+	if p, ok := Lookup(name); ok {
+		return p, nil
+	}
+	return nil, &UnknownPlannerError{Name: name}
+}
+
+// Names returns the registered planner names, sorted — the CLI's -algo
+// vocabulary and the conformance suite's iteration order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	//mdglint:ignore determinism keys are collected and then sorted; the returned order is independent of map iteration order
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

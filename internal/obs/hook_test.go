@@ -1,0 +1,51 @@
+package obs
+
+import "testing"
+
+// TestSpanHookObservesLifecycleEdges: every span start and end reaches
+// the installed hook with the span's name and id, start edges arrive
+// strictly before the matching end edges, and removing the hook (or
+// calling on a nil trace) stops the calls.
+func TestSpanHookObservesLifecycleEdges(t *testing.T) {
+	tr := New(nil)
+	type edge struct {
+		name string
+		id   int
+		end  bool
+	}
+	var edges []edge
+	tr.SetSpanHook(func(name string, id int, end bool) {
+		edges = append(edges, edge{name, id, end})
+	})
+	root := tr.Start("plan")
+	child := root.Child("cover")
+	child.End()
+	root.End()
+
+	tr.SetSpanHook(nil)
+	quiet := tr.Start("quiet")
+	quiet.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []edge{
+		{"plan", 1, false},
+		{"cover", 2, false},
+		{"cover", 2, true},
+		{"plan", 1, true},
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("hook saw %d edges, want %d: %+v", len(edges), len(want), edges)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("edge %d = %+v, want %+v", i, edges[i], want[i])
+		}
+	}
+
+	// Nil traces accept (and ignore) hooks, like every other obs call.
+	var nilTrace *Trace
+	nilTrace.SetSpanHook(func(string, int, bool) { t.Error("hook on a nil trace fired") })
+	nilTrace.Start("ghost").End()
+}

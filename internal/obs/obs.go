@@ -66,6 +66,27 @@ type Trace struct {
 	agg    map[string]*SpanStat
 	free   []*Span  // recycled spans; top of stack is the hottest
 	line   jsonlBuf // reusable event-encoding buffer (guarded by mu)
+	hook   SpanHook // span lifecycle observer (guarded by mu; invoked outside it)
+}
+
+// SpanHook observes span lifecycle edges: it is called once when a span
+// starts (end=false) and once when it ends (end=true), with the span's
+// name and deterministic id. Hooks run outside the trace's lock on the
+// goroutine that started or ended the span, so a hook may itself use the
+// trace; concurrent spans mean a hook must be safe for concurrent calls.
+// The engine seam turns these edges into streamed progress events.
+type SpanHook func(name string, id int, end bool)
+
+// SetSpanHook installs fn as the trace's span hook (nil removes it). One
+// hook is active at a time; installing a hook while spans are in flight
+// is safe, but edges that already passed are not replayed. Nil-safe.
+func (t *Trace) SetSpanHook(fn SpanHook) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.hook = fn
+	t.mu.Unlock()
 }
 
 // New returns a Trace writing JSONL events to w. A nil w is valid and
@@ -108,6 +129,7 @@ func (t *Trace) newSpan(name string, parent int) *Span {
 	t.mu.Lock()
 	t.nextID++
 	id := t.nextID
+	hook := t.hook
 	var s *Span
 	if n := len(t.free); n > 0 {
 		s = t.free[n-1]
@@ -125,6 +147,9 @@ func (t *Trace) newSpan(name string, parent int) *Span {
 	s.parent = parent
 	s.fields = s.fields[:0]
 	s.ended = false
+	if hook != nil {
+		hook(name, id, false)
+	}
 	s.begin = time.Now()
 	return s
 }
@@ -220,8 +245,8 @@ func (t *Trace) endSpan(s *Span) {
 	now := time.Now()
 	durNs := now.Sub(s.begin).Nanoseconds()
 	tNs := s.begin.Sub(t.start).Nanoseconds()
+	name, id := s.name, s.id
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	st := t.agg[s.name]
 	if st == nil {
 		//mdglint:allow-alloc(one aggregate row per distinct span name, reused for every later span)
@@ -243,4 +268,9 @@ func (t *Trace) endSpan(s *Span) {
 	s.name = ""
 	//mdglint:allow-alloc(free-list growth is amortized; steady state pops and pushes within retained capacity)
 	t.free = append(t.free, s)
+	hook := t.hook
+	t.mu.Unlock()
+	if hook != nil {
+		hook(name, id, true)
+	}
 }

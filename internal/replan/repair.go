@@ -24,6 +24,19 @@ type Options struct {
 	// Obs, when non-nil, receives per-phase spans (carry, rehome,
 	// recover, splice, improve). Nil disables tracing.
 	Obs *obs.Trace
+	// Step, when non-nil, is consulted at every phase boundary (carry →
+	// rehome → recover → splice/improve); a non-nil return aborts the
+	// repair with that error. The engine seam wires context cancellation
+	// here. A Step that always returns nil never changes the output.
+	Step func() error
+}
+
+// step consults the phase-boundary hook, if any.
+func (o Options) step() error {
+	if o.Step == nil {
+		return nil
+	}
+	return o.Step()
 }
 
 // Stats summarises what a repair touched; everything it does not mention
@@ -100,6 +113,9 @@ func Repair(nw *wsn.Network, prev *collector.TourPlan, carried []int, opts Optio
 	spCarry.SetInt("kept", int64(st.Kept))
 	spCarry.SetInt("dirty", int64(len(dirty)))
 	spCarry.End()
+	if err := opts.step(); err != nil {
+		return nil, st, err
+	}
 
 	// Phase 2 — rehome: a dirty sensor that drifted into range of some
 	// other existing stop needs no new stop, just a new assignment.
@@ -124,6 +140,9 @@ func Repair(nw *wsn.Network, prev *collector.TourPlan, carried []int, opts Optio
 	st.Recovered = len(dirty)
 	spRehome.SetInt("rehomed", int64(st.Rehomed))
 	spRehome.End()
+	if err := opts.step(); err != nil {
+		return nil, st, err
+	}
 
 	// Phase 3 — recover: greedily cover the sensors no existing stop can
 	// serve, using their own sites as candidates (every dirty sensor
@@ -151,6 +170,9 @@ func Repair(nw *wsn.Network, prev *collector.TourPlan, carried []int, opts Optio
 	st.NewStops = len(newStops)
 	spRecover.SetInt("new_stops", int64(st.NewStops))
 	spRecover.End()
+	if err := opts.step(); err != nil {
+		return nil, st, err
+	}
 
 	// Phase 4 — eject: drop previous stops that served sensors before and
 	// serve none now. Previous load comes from the plan itself (not from

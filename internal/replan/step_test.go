@@ -1,0 +1,47 @@
+package replan
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRepairStepCancellation: a Step hook that reports an error at any
+// phase boundary aborts the repair with exactly that error, and a hook
+// that always allows progress changes nothing about the result.
+func TestRepairStepCancellation(t *testing.T) {
+	nw := deploy(250, 300, 30, 3)
+	prev := coldPlan(t, nw)
+	carried := CarryPositional(prev, nw.N())
+	wantErr := errors.New("step: abort")
+
+	base, _, err := Repair(nw, prev, carried, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for stopAfter := 0; stopAfter < 3; stopAfter++ {
+		calls := 0
+		step := func() error {
+			calls++
+			if calls > stopAfter {
+				return wantErr
+			}
+			return nil
+		}
+		got, _, err := Repair(nw, prev, carried, Options{Step: step})
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("stopAfter=%d: err = %v, want the step error", stopAfter, err)
+		}
+		if got != nil {
+			t.Fatalf("stopAfter=%d: aborted repair returned a plan", stopAfter)
+		}
+	}
+
+	allowed, _, err := Repair(nw, prev, carried, Options{Step: func() error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePlan(base, allowed) {
+		t.Fatal("a permissive Step hook changed the repaired plan")
+	}
+}

@@ -23,6 +23,21 @@ type PlannerOptions struct {
 	// Obs, when non-nil, receives per-phase spans (candidates, cover,
 	// refine, tsp) and planner metrics. Nil disables tracing.
 	Obs *obs.Trace
+	// Step, when non-nil, is consulted at every phase boundary
+	// (candidates → cover → refine → tsp); a non-nil return aborts the
+	// plan with that error. The engine seam wires context cancellation
+	// here (opts.Step = ctx.Err), so a canceled plan stops at the next
+	// boundary instead of running to completion. A Step that always
+	// returns nil never changes the planner's output.
+	Step func() error
+}
+
+// step consults the phase-boundary hook, if any.
+func (o PlannerOptions) step() error {
+	if o.Step == nil {
+		return nil
+	}
+	return o.Step()
 }
 
 // DefaultPlannerOptions is the configuration the experiments label
@@ -45,6 +60,9 @@ func Plan(p *Problem, opts PlannerOptions) (*Solution, error) {
 	root := opts.Obs.Start("plan")
 	defer root.End()
 
+	if err := opts.step(); err != nil {
+		return nil, err
+	}
 	spCand := root.Child("candidates")
 	inst, err := p.Instance()
 	if err != nil {
@@ -57,6 +75,9 @@ func Plan(p *Problem, opts PlannerOptions) (*Solution, error) {
 	spCand.Gauge("cover.candidates", float64(len(inst.Candidates)))
 	spCand.End()
 
+	if err := opts.step(); err != nil {
+		return nil, err
+	}
 	spCover := root.Child("cover")
 	var chosen []int
 	if opts.ExactCover {
@@ -67,6 +88,9 @@ func Plan(p *Problem, opts PlannerOptions) (*Solution, error) {
 	}
 	spCover.End()
 	if err != nil {
+		return nil, err
+	}
+	if err := opts.step(); err != nil {
 		return nil, err
 	}
 	coverStops := len(chosen)
@@ -92,6 +116,9 @@ func Plan(p *Problem, opts PlannerOptions) (*Solution, error) {
 		spRefine.End()
 	}
 
+	if err := opts.step(); err != nil {
+		return nil, err
+	}
 	spTSP := root.Child("tsp")
 	tspOpts := opts.TSP
 	tspOpts.Obs = spTSP
