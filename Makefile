@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race lint lint-json lint-fix-hints vet fmt bench check conformance cover cover-update fuzz-smoke escape escape-update alloc-bench perf perf-update trace
+.PHONY: all build test race lint lint-json lint-dataflow lint-fix-hints vet fmt bench check conformance cover cover-update fuzz-smoke escape escape-update alloc-bench perf perf-update trace
 
 all: check
 
@@ -17,9 +17,11 @@ race:
 # mdglint is this repo's own static-analysis suite (cmd/mdglint):
 # determinism, float-equality, panic, discarded-error, and global-state
 # checks plus the type-aware unitcheck (units of measure), loopcapture
-# (concurrency capture), and convcheck (lossy conversion) analyzers, and
-# the call-graph-backed alloccheck (hot-path allocation sites) and
-# parpure (par-callback purity) analyzers.
+# (concurrency capture), and convcheck (lossy conversion) analyzers, the
+# call-graph-backed alloccheck (hot-path allocation sites) and parpure
+# (par-callback purity) analyzers, and the dataflow trio over the engine
+# seam: purecheck (Scenario purity/retention), ctxflow (context
+# threading), and errflow (dead/overwritten errors).
 # CI runs it; `make lint` reproduces the gate locally.
 lint:
 	$(GO) run ./cmd/mdglint ./...
@@ -28,6 +30,12 @@ lint:
 # message) — the format the CI annotation step consumes.
 lint-json:
 	$(GO) run ./cmd/mdglint -json ./...
+
+# lint-dataflow runs just the three seam analyzers (purecheck, ctxflow,
+# errflow) — the fast loop while auditing a planner for scenario
+# mutation, context laundering, or dropped errors.
+lint-dataflow:
+	$(GO) run ./cmd/mdglint -run purecheck,ctxflow,errflow ./...
 
 # lint-fix-hints lists the analyzers with their one-line docs as a
 # reminder of what each finding class means and how to suppress one

@@ -240,3 +240,87 @@ func TestLintCLIJSONLoadDiagnostics(t *testing.T) {
 		t.Errorf("no load diagnostic in JSON output:\n%s", out)
 	}
 }
+
+// TestLintCLIJSONGlobalOrder pins the emission order contract: findings
+// are globally sorted by (file, line, analyzer), so a load diagnostic
+// lands between analyzer findings from neighboring files instead of
+// being front-loaded.
+func TestLintCLIJSONGlobalOrder(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/ordered\n\ngo 1.22\n")
+	write("pkg/a/a.go", `package a
+
+func eq(x, y float64) bool { return x == y }
+`)
+	write("pkg/b/b.go", `package b
+
+func f() int { return "nope" }
+`)
+	write("pkg/c/c.go", `package c
+
+import "errors"
+
+func fallible() error { return errors.New("boom") }
+
+func drop() { fallible() }
+`)
+
+	out, code := runLintCLI(t, dir, "-json")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\noutput: %s", code, out)
+	}
+	type finding struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+	}
+	var got []finding
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var f finding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line is not valid JSON: %q: %v", line, err)
+		}
+		got = append(got, f)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d findings, want 3:\n%s", len(got), out)
+	}
+	wantOrder := []string{"floateq", "load", "errcheck"}
+	for i, f := range got {
+		if f.Analyzer != wantOrder[i] {
+			t.Errorf("finding %d is from %s, want %s (global file order)", i, f.Analyzer, wantOrder[i])
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].File > got[i].File {
+			t.Errorf("files out of order: %q emitted before %q", got[i-1].File, got[i].File)
+		}
+	}
+}
+
+// TestLintCLIRunSubset pins the -run flag: only the named analyzers
+// execute, and an unknown name is a usage error (exit 2), not a silent
+// no-op gate.
+func TestLintCLIRunSubset(t *testing.T) {
+	dir := lintFixtureModule(t)
+	out, code := runLintCLI(t, dir, "-run", "floateq", "-json")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\noutput: %s", code, out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], `"analyzer":"floateq"`) {
+		t.Errorf("-run floateq must emit exactly the floateq finding:\n%s", out)
+	}
+	if out, code := runLintCLI(t, dir, "-run", "nosuch"); code != 2 {
+		t.Errorf("unknown analyzer name: exit code = %d, want 2\noutput: %s", code, out)
+	}
+}

@@ -74,10 +74,13 @@ func runSHDG(ctx context.Context, sc Scenario, opts Options) (*Plan, Stats, erro
 }
 
 // runExact adapts the exact solver. The enumeration is one indivisible
-// phase, so cancellation is honored at its entry and exit only.
+// phase, so cancellation is honored at the phase boundary only.
 func runExact(ctx context.Context, sc Scenario, opts Options) (*Plan, Stats, error) {
 	root := opts.Obs.Start("plan")
 	defer root.End()
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 	sol, err := shdgp.PlanExact(problem(sc, opts), shdgp.DefaultExactLimits())
 	if err != nil {
 		return nil, Stats{}, err
@@ -92,6 +95,9 @@ func runExact(ctx context.Context, sc Scenario, opts Options) (*Plan, Stats, err
 func runVisitAll(ctx context.Context, sc Scenario, opts Options) (*Plan, Stats, error) {
 	root := opts.Obs.Start("plan")
 	defer root.End()
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 	sp := root.Child("tsp")
 	tspOpts := tsp.DefaultOptions()
 	tspOpts.Obs = sp
@@ -108,6 +114,9 @@ func runVisitAll(ctx context.Context, sc Scenario, opts Options) (*Plan, Stats, 
 func runSweep(ctx context.Context, sc Scenario, opts Options) (*Plan, Stats, error) {
 	root := opts.Obs.Start("plan")
 	defer root.End()
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 	sp := root.Child("tsp")
 	tspOpts := tsp.DefaultOptions()
 	tspOpts.Obs = sp
@@ -122,21 +131,28 @@ func runSweep(ctx context.Context, sc Scenario, opts Options) (*Plan, Stats, err
 
 // runCLA adapts the paper's covering-line sweep baseline. CLA stops are
 // sweep-line endpoints, not upload points, so the plan carries the true
-// per-sensor upload distance for the oracle.
+// per-sensor upload distance for the oracle — materialized into a fresh
+// slice, because the returned Plan outlives the request and must not
+// retain the scenario's network.
 func runCLA(ctx context.Context, sc Scenario, opts Options) (*Plan, Stats, error) {
 	root := opts.Obs.Start("plan")
 	defer root.End()
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 	nw := sc.Net
 	tour, err := baselines.PlanCLA(nw)
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	dists := make([]float64, nw.N())
+	for i := range dists {
+		dists[i] = baselines.CLAUploadDistance(nw, tour, i)
+	}
 	pl := &Plan{
-		Tour:      tour,
-		Algorithm: "cla",
-		UploadDist: func(i int) float64 {
-			return baselines.CLAUploadDistance(nw, tour, i)
-		},
+		Tour:       tour,
+		Algorithm:  "cla",
+		UploadDist: func(i int) float64 { return dists[i] },
 	}
 	return pl, Stats{Length: tour.Length(), Stops: len(tour.Stops)}, nil
 }

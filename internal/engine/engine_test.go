@@ -247,3 +247,25 @@ func TestWarmStartPaths(t *testing.T) {
 		t.Fatalf("explicit carry: %v, stats %+v", err, st)
 	}
 }
+
+// TestPhaseBoundaryCancellationAllPlanners cancels from the first
+// progress event — after the wrapper's entry check, before the adapter's
+// own phase-boundary check — so every adapter's in-body ctx.Err gate is
+// the one that has to fire.
+func TestPhaseBoundaryCancellationAllPlanners(t *testing.T) {
+	nw := testNet(t, 25, 3)
+	for _, name := range engine.Names() {
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			opts := engine.Options{Progress: func(engine.Event) { cancel() }}
+			pl, _, err := mustPlanner(t, name).Plan(ctx, engine.Scenario{Net: nw}, opts)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if pl != nil {
+				t.Fatalf("canceled plan returned a result: %+v", pl)
+			}
+		})
+	}
+}

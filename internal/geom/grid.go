@@ -32,6 +32,8 @@ type GridIndex struct {
 
 // NewGridIndex indexes pts with the given cell size (> 0). The index keeps
 // a reference to pts; callers must not mutate the slice afterwards.
+//
+//mdglint:allow-mut(initializes only the index's freshly allocated CSR arrays; pts is retained read-only by the documented contract above)
 func NewGridIndex(pts []Point, cell float64) *GridIndex {
 	if cell <= 0 {
 		//mdglint:ignore nopanic documented precondition; cell sizes are positive literals or ranges in all callers

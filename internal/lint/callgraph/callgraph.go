@@ -48,6 +48,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Pkg is one type-checked package presented to Build. It mirrors the
@@ -58,6 +59,17 @@ type Pkg struct {
 	Fset  *token.FileSet
 	Files []*ast.File
 	Info  *types.Info
+}
+
+// externalTestFile reports whether file belongs to an external test
+// package (package foo_test). The lint loader skips such files — they
+// are a separate compilation unit — but hand-assembled fixture packages
+// (testdata modules in tests) can still carry them, and indexing their
+// closures would give the graph nodes the analyzers then attribute to
+// the package under test. Build skips them for consistency with
+// lint.LoadModule.
+func externalTestFile(file *ast.File) bool {
+	return strings.HasSuffix(file.Name.Name, "_test")
 }
 
 // Node is one function in the graph: a declared function or method
@@ -91,7 +103,18 @@ type Graph struct {
 	nodes []*Node
 	byObj map[*types.Func]*Node
 	byLit map[*ast.FuncLit]*Node
+	sites map[*ast.CallExpr][]*Node
 }
+
+// TargetsOf returns the module-internal callees a specific call
+// expression may dispatch to, in deterministic (package, position)
+// order: one node for a static call, every CHA implementation for an
+// interface call, every signature-matched address-taken function for an
+// indirect call. Nil for calls outside the built packages, calls to
+// non-module functions, builtins, and conversions. Unlike Node.Calls,
+// which aggregates per function, this is per call site — the dataflow
+// engine uses it to map arguments to callee parameters.
+func (g *Graph) TargetsOf(call *ast.CallExpr) []*Node { return g.sites[call] }
 
 // Nodes returns every node in deterministic (package, position) order.
 func (g *Graph) Nodes() []*Node { return g.nodes }
@@ -116,6 +139,16 @@ func (g *Graph) NodeOfLit(lit *ast.FuncLit) *Node { return g.byLit[lit] }
 // The result is a monotone least fixpoint, so it is independent of
 // traversal order.
 func (g *Graph) Reachable(roots []*Node, stop func(*Node) bool) map[*Node]bool {
+	return g.ReachableWithin(roots, nil, stop)
+}
+
+// ReachableWithin is Reachable with a pre-activated set: a node in pre
+// counts as an activator for indirect edges without being entered or
+// expanded itself (unless the traversal reaches it through edges).
+// The canonical pre set is Reachable over the module's init functions —
+// inits always execute, so a planner registered from init is dispatchable
+// through an indirect call even though no Plan path reaches the init.
+func (g *Graph) ReachableWithin(roots []*Node, pre map[*Node]bool, stop func(*Node) bool) map[*Node]bool {
 	seen := make(map[*Node]bool)
 	blocked := func(n *Node) bool { return n == nil || (stop != nil && stop(n)) }
 	stack := make([]*Node, 0, len(roots))
@@ -128,7 +161,7 @@ func (g *Graph) Reachable(roots []*Node, stop func(*Node) bool) map[*Node]bool {
 	}
 	activated := func(n *Node) bool {
 		for _, a := range n.activators {
-			if seen[a] {
+			if seen[a] || pre[a] {
 				return true
 			}
 		}
@@ -200,6 +233,7 @@ type addrTakenFn struct {
 type indirectCall struct {
 	from *Node
 	sig  *types.Signature
+	site *ast.CallExpr
 }
 
 // Build constructs the call graph for the given packages. Packages must
@@ -210,7 +244,11 @@ type indirectCall struct {
 // get no edge — but never fails the build.
 func Build(pkgs []Pkg) *Graph {
 	b := &builder{
-		graph:       &Graph{byObj: map[*types.Func]*Node{}, byLit: map[*ast.FuncLit]*Node{}},
+		graph: &Graph{
+			byObj: map[*types.Func]*Node{},
+			byLit: map[*ast.FuncLit]*Node{},
+			sites: map[*ast.CallExpr][]*Node{},
+		},
 		methodImpls: map[string][]*types.Func{},
 		callFuns:    map[*ast.Ident]bool{},
 	}
@@ -225,12 +263,18 @@ func Build(pkgs []Pkg) *Graph {
 	for _, n := range b.graph.nodes {
 		sortEdges(n)
 	}
+	for site, targets := range b.graph.sites {
+		b.graph.sites[site] = sortTargets(targets)
+	}
 	return b.graph
 }
 
 // collectNodes registers a node per declared function and func literal.
 func (b *builder) collectNodes(pkg Pkg) {
 	for _, file := range pkg.Files {
+		if externalTestFile(file) {
+			continue
+		}
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -311,6 +355,9 @@ type enclosing struct {
 // address-taken records.
 func (b *builder) collectEdges(pkg Pkg) {
 	for _, file := range pkg.Files {
+		if externalTestFile(file) {
+			continue
+		}
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -364,16 +411,20 @@ func (e *enclosing) call(call *ast.CallExpr) {
 	switch f := fun.(type) {
 	case *ast.FuncLit:
 		// Immediately invoked literal: the creation edge added when the
-		// literal is visited already covers it.
+		// literal is visited already covers it, but the site target is
+		// recorded so per-call-site consumers resolve it too.
+		if lit := e.b.graph.byLit[f]; lit != nil {
+			e.b.graph.sites[call] = append(e.b.graph.sites[call], lit)
+		}
 		return
 	case *ast.Ident:
 		e.b.callFuns[f] = true
 		switch obj := info.Uses[f].(type) {
 		case *types.Func:
-			e.edgeTo(obj)
+			e.edgeTo(call, obj)
 			return
 		case *types.Var:
-			e.indirectThrough(info, fun)
+			e.indirectThrough(info, call, fun)
 			return
 		}
 	case *ast.SelectorExpr:
@@ -381,55 +432,64 @@ func (e *enclosing) call(call *ast.CallExpr) {
 		if sel, ok := info.Selections[f]; ok && sel.Kind() == types.MethodVal {
 			recv := sel.Recv()
 			if iface := interfaceUnder(recv); iface != nil {
-				e.chaEdges(iface, f.Sel.Name)
+				e.chaEdges(call, iface, f.Sel)
 				return
 			}
 			if m, ok := info.Uses[f.Sel].(*types.Func); ok {
-				e.edgeTo(m)
+				e.edgeTo(call, m)
 			}
 			return
 		}
 		// Package-qualified function, or a struct field of function type.
 		switch obj := info.Uses[f.Sel].(type) {
 		case *types.Func:
-			e.edgeTo(obj)
+			e.edgeTo(call, obj)
 			return
 		case *types.Var:
-			e.indirectThrough(info, fun)
+			e.indirectThrough(info, call, fun)
 			return
 		}
 	}
 	// Anything else of function type (call of a call result, index into
 	// a slice of funcs, ...) is an indirect call.
-	e.indirectThrough(info, fun)
+	e.indirectThrough(info, call, fun)
 }
 
 // edgeTo adds an edge to a declared function when its body is in the
 // module; callees outside the module have no node and no edge.
-func (e *enclosing) edgeTo(obj *types.Func) {
+func (e *enclosing) edgeTo(call *ast.CallExpr, obj *types.Func) {
 	if target := e.b.graph.byObj[obj]; target != nil {
 		e.node.calls = append(e.node.calls, target)
+		if call != nil {
+			e.b.graph.sites[call] = append(e.b.graph.sites[call], target)
+		}
 	}
 }
 
 // chaEdges adds one edge per module type implementing the interface
-// with a matching method — classic class-hierarchy analysis.
-func (e *enclosing) chaEdges(iface *types.Interface, method string) {
+// with a matching method — classic class-hierarchy analysis. The
+// implementation is resolved through the type's full method set, not
+// just its declared methods, so a method promoted from an embedded
+// struct lands on the declaring type's body.
+func (e *enclosing) chaEdges(call *ast.CallExpr, iface *types.Interface, sel *ast.Ident) {
+	var mpkg *types.Package
+	if m, ok := e.pkg.Info.Uses[sel].(*types.Func); ok {
+		mpkg = m.Pkg()
+	}
 	for _, named := range e.b.namedTypes {
 		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
 			continue
 		}
-		for i := 0; i < named.NumMethods(); i++ {
-			if m := named.Method(i); m.Name() == method {
-				e.edgeTo(m)
-			}
+		obj, _, _ := types.LookupFieldOrMethod(named, true, mpkg, sel.Name)
+		if impl, ok := obj.(*types.Func); ok {
+			e.edgeTo(call, impl)
 		}
 	}
 }
 
 // indirectThrough records a call through a function-typed expression for
 // later resolution against the address-taken set.
-func (e *enclosing) indirectThrough(info *types.Info, fun ast.Expr) {
+func (e *enclosing) indirectThrough(info *types.Info, call *ast.CallExpr, fun ast.Expr) {
 	tv, ok := info.Types[fun]
 	if !ok || tv.Type == nil {
 		return
@@ -438,7 +498,7 @@ func (e *enclosing) indirectThrough(info *types.Info, fun ast.Expr) {
 	if !ok {
 		return
 	}
-	e.b.indirect = append(e.b.indirect, indirectCall{from: e.node, sig: sig})
+	e.b.indirect = append(e.b.indirect, indirectCall{from: e.node, sig: sig, site: call})
 }
 
 // noteFuncValue records a named function used as a value (any mention
@@ -507,6 +567,9 @@ func (b *builder) resolveIndirect() {
 		for _, at := range b.addrTaken {
 			if types.Identical(call.sig, at.sig) {
 				call.from.calls = append(call.from.calls, at.node)
+				if call.site != nil {
+					b.graph.sites[call.site] = append(b.graph.sites[call.site], at.node)
+				}
 				if !static[call.from][at.node] {
 					if call.from.onlyIndirect == nil {
 						call.from.onlyIndirect = make(map[*Node]bool)
@@ -540,6 +603,30 @@ func sortEdges(n *Node) {
 		}
 	}
 	n.calls = out
+}
+
+// sortTargets dedups and orders one call site's resolved targets.
+func sortTargets(targets []*Node) []*Node {
+	if len(targets) < 2 {
+		return targets
+	}
+	sort.Slice(targets, func(i, j int) bool {
+		a, c := targets[i], targets[j]
+		if a.PkgPath != c.PkgPath {
+			return a.PkgPath < c.PkgPath
+		}
+		if a.Pos != c.Pos {
+			return a.Pos < c.Pos
+		}
+		return a.Name < c.Name
+	})
+	out := targets[:1]
+	for _, c := range targets[1:] {
+		if c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // interfaceUnder returns the interface type under t (through pointers),

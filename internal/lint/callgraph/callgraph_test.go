@@ -230,3 +230,221 @@ func z() {}
 		}
 	}
 }
+
+// TestExternalTestFilesExcluded pins consistency with lint.LoadModule:
+// files in an external test package (package foo_test) contribute no
+// nodes or edges, even when hand-assembled fixtures carry them in the
+// same Pkg.
+func TestExternalTestFilesExcluded(t *testing.T) {
+	fset := token.NewFileSet()
+	parse := func(name, src string) *ast.File {
+		f, err := parser.ParseFile(fset, name, src, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		return f
+	}
+	mainFile := parse("p.go", `package p
+
+func Real() { helper() }
+func helper() {}
+`)
+	extFile := parse("p_ext_test.go", `package p_test
+
+func Shadow() {
+	hook := func() { Shadow() }
+	hook()
+}
+`)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	if _, err := (&types.Config{}).Check("p", fset, []*ast.File{mainFile}, info); err != nil {
+		t.Fatalf("typecheck main: %v", err)
+	}
+	if _, err := (&types.Config{}).Check("p_test", fset, []*ast.File{extFile}, info); err != nil {
+		t.Fatalf("typecheck external test: %v", err)
+	}
+	g := Build([]Pkg{{Path: "p", Fset: fset, Files: []*ast.File{mainFile, extFile}, Info: info}})
+	for _, n := range g.Nodes() {
+		if strings.Contains(n.Name, "Shadow") || n.Lit != nil {
+			t.Errorf("external test file leaked node %s into the graph", n.Name)
+		}
+	}
+	if !calls(node(t, g, "p.Real"), "helper") {
+		t.Error("regular file's edges must survive the exclusion")
+	}
+}
+
+// TestMethodValueEdges pins method-value resolution: t.M passed as a
+// bare function value binds its receiver, so an indirect call of the
+// receiver-less signature reaches the method, gated on the taker.
+func TestMethodValueEdges(t *testing.T) {
+	g, _ := buildFrom(t, `package p
+
+type T struct{ n int }
+
+func (t *T) M() int { return t.n }
+func (t *T) other(int) int { return 0 }
+
+func invoke(f func() int) int { return f() }
+
+func use(t *T) int { return invoke(t.M) }
+`)
+	ni := node(t, g, "invoke")
+	if !calls(ni, "(*T).M") {
+		t.Errorf("indirect call must resolve to the bound method value; edges: %v", ni.Calls())
+	}
+	if calls(ni, "other") {
+		t.Error("receiver-bound signature matched a method of a different shape")
+	}
+	reach := g.Reachable([]*Node{node(t, g, "p.use")}, nil)
+	if !reach[node(t, g, "(*T).M")] {
+		t.Error("use takes t.M's value, so M must be reachable from use")
+	}
+}
+
+// TestEmbeddedInterfaceDispatch pins CHA through interface embedding: a
+// call on a method inherited from an embedded interface fans out to the
+// implementers, and an implementation promoted from an embedded struct
+// resolves to the declaring type's method body.
+func TestEmbeddedInterfaceDispatch(t *testing.T) {
+	g, _ := buildFrom(t, `package p
+
+type closer interface{ Close() }
+
+type resource interface {
+	closer
+	Open()
+}
+
+type file struct{}
+
+func (*file) Open()  {}
+func (*file) Close() {}
+
+type base struct{}
+
+func (base) Close() {}
+
+type wrapped struct{ base }
+
+func (wrapped) Open() {}
+
+func shutdown(r resource) { r.Close() }
+`)
+	ns := node(t, g, "shutdown")
+	if !calls(ns, "(*file).Close") {
+		t.Errorf("embedded-interface method must dispatch to direct implementers; edges: %v", ns.Calls())
+	}
+	if !calls(ns, "(base).Close") {
+		t.Errorf("promoted implementation must resolve to the declaring type's body; edges: %v", ns.Calls())
+	}
+	if calls(ns, "Open") {
+		t.Error("dispatch expanded the wrong method name")
+	}
+}
+
+// TestReachableWithinPreActivatedSet pins the pre-activation seam used
+// by ctxflow: a registration function outside the traversal can still
+// unlock indirect targets it activates.
+func TestReachableWithinPreActivatedSet(t *testing.T) {
+	g, _ := buildFrom(t, `package p
+
+var sink func(int) int
+
+func register() { sink = double }
+
+func invoke(f func(int) int, x int) int { return f(x) }
+
+func double(x int) int { return 2 * x }
+`)
+	ni := node(t, g, "invoke")
+	nd := node(t, g, "p.double")
+	if !calls(ni, "double") {
+		t.Fatalf("indirect edge invoke -> double missing; edges: %v", ni.Calls())
+	}
+	if g.Reachable([]*Node{ni}, nil)[nd] {
+		t.Error("without pre-activation, double's only taker is unreachable")
+	}
+	pre := map[*Node]bool{node(t, g, "register"): true}
+	reach := g.ReachableWithin([]*Node{ni}, pre, nil)
+	if !reach[nd] {
+		t.Error("pre-activated register must unlock the indirect edge to double")
+	}
+	if reach[node(t, g, "register")] {
+		t.Error("pre-set members are activators, not roots; register must not be entered")
+	}
+}
+
+// TestSiteTargetsAndLookups pins the per-call-site resolution surface
+// the dataflow engine consumes: TargetsOf for static calls, indirect
+// calls through struct fields, immediately invoked literals, and nil
+// for conversions — plus the NodeOf/NodeOfLit/String lookups.
+func TestSiteTargetsAndLookups(t *testing.T) {
+	g, pkg := buildFrom(t, `package p
+
+type h struct{ fn func(int) int }
+
+func scale(x int) int { return x * 2 }
+
+func run(hh h, x int) int {
+	y := func(v int) int { return v + 1 }(x)
+	return hh.fn(x) + scale(y) + int(int32(x))
+}
+
+func wire() h { return h{fn: scale} }
+`)
+	var lit *ast.FuncLit
+	calls := map[string]*ast.CallExpr{}
+	ast.Inspect(pkg.Files[0], func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			lit = e
+		case *ast.CallExpr:
+			switch f := e.Fun.(type) {
+			case *ast.Ident:
+				calls[f.Name] = e
+			case *ast.SelectorExpr:
+				calls[f.Sel.Name] = e
+			case *ast.FuncLit:
+				calls["lit"] = e
+			}
+		}
+		return true
+	})
+
+	scaleNode := node(t, g, "p.scale")
+	if scaleNode.Obj == nil || g.NodeOf(scaleNode.Obj) != scaleNode {
+		t.Error("NodeOf must round-trip the declared function")
+	}
+	if scaleNode.String() != scaleNode.Name {
+		t.Errorf("String() = %q, want the display name %q", scaleNode.String(), scaleNode.Name)
+	}
+	litNode := g.NodeOfLit(lit)
+	if litNode == nil {
+		t.Fatal("NodeOfLit must resolve the literal")
+	}
+	if got := g.TargetsOf(calls["lit"]); len(got) != 1 || got[0] != litNode {
+		t.Errorf("immediately invoked literal targets = %v, want the literal node", got)
+	}
+	if got := g.TargetsOf(calls["scale"]); len(got) != 1 || got[0] != scaleNode {
+		t.Errorf("static call targets = %v, want exactly scale", got)
+	}
+	fnTargets := g.TargetsOf(calls["fn"])
+	foundScale := false
+	for _, n := range fnTargets {
+		if n == scaleNode {
+			foundScale = true
+		}
+	}
+	if !foundScale {
+		t.Errorf("field-typed indirect call must target the address-taken scale; got %v", fnTargets)
+	}
+	if got := g.TargetsOf(calls["int"]); got != nil {
+		t.Errorf("conversion has targets %v, want nil", got)
+	}
+}

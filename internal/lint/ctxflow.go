@@ -1,0 +1,394 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mobicol/internal/lint/callgraph"
+)
+
+// CtxFlowAnalyzer builds the context-propagation checker for the
+// planner seam.
+//
+// Every path from a Planner.Plan entry to a phase-boundary span or an
+// n-scaled loop must carry the incoming ctx — otherwise a cancelled
+// request keeps planning (the conformance suite proves cancellation
+// works dynamically for the shipped adapters; ctxflow proves nobody
+// quietly breaks it). Over the functions reachable from the Plan roots,
+// three patterns are flagged:
+//
+//   - laundering: a call to context.Background() or context.TODO()
+//     replaces the caller's context with an uncancellable one;
+//   - dropping: a function that takes a ctx parameter passes a context
+//     not derived from it to a callee that accepts one;
+//   - stranding: a function that takes a ctx parameter, starts a phase
+//     span (obs Trace/Span Start/Child) or runs a loop scaled by its
+//     input, yet never consults the parameter — there is no
+//     cancellation point between phase boundaries.
+//
+// The derivation analysis is local and syntactic: a context is derived
+// from ctx if its expression mentions the parameter or a variable
+// assigned from one that does (context.WithCancel(ctx) chains count).
+// Suppression is the standard //mdglint:ignore ctxflow <reason>.
+func CtxFlowAnalyzer() *Analyzer {
+	seen := map[token.Pos]bool{}
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "flag dropped or laundered ctx on paths from Planner.Plan to phase spans and n-scaled loops",
+		Run:  func(pass *Pass) { runCtxFlow(pass, seen) },
+	}
+}
+
+func runCtxFlow(pass *Pass, seen map[token.Pos]bool) {
+	if pass.Mod == nil || pass.Mod.Graph == nil {
+		return
+	}
+	roots := pass.Mod.PlanRoots()
+	if len(roots) == 0 {
+		return
+	}
+	g := pass.Mod.Graph
+	rootNodes := make([]*callgraph.Node, 0, len(roots))
+	for _, r := range roots {
+		rootNodes = append(rootNodes, r.Node)
+	}
+	// Indirect edges are activation-gated, and the adapters the engine
+	// dispatches through its run field are activated by a registration
+	// init no Plan path reaches. Inits always execute, so everything
+	// they make reachable is pre-activated for the Plan traversal — that
+	// unlocks Plan → adapter without dragging in every signature-matched
+	// closure in the module (test drivers included).
+	var inits []*callgraph.Node
+	for _, n := range g.Nodes() {
+		if n.Decl != nil && n.Decl.Recv == nil && n.Decl.Name.Name == "init" {
+			inits = append(inits, n)
+		}
+	}
+	reachable := g.ReachableWithin(rootNodes, g.Reachable(inits, nil), nil)
+	for _, n := range g.Nodes() {
+		if !reachable[n] || pass.IsTestFile(n.Pos) {
+			continue
+		}
+		pkg := pass.Mod.pkgByPath(n.PkgPath)
+		if pkg == nil {
+			continue
+		}
+		checkCtxFlow(pass, pkg, n, seen)
+	}
+}
+
+func checkCtxFlow(pass *Pass, pkg *Package, n *callgraph.Node, seen map[token.Pos]bool) {
+	var body *ast.BlockStmt
+	var ftype *ast.FuncType
+	switch {
+	case n.Decl != nil:
+		body, ftype = n.Decl.Body, n.Decl.Type
+	case n.Lit != nil:
+		body, ftype = n.Lit.Body, n.Lit.Type
+	}
+	if body == nil {
+		return
+	}
+	report := func(pos token.Pos, format string, args ...any) {
+		if seen[pos] {
+			return
+		}
+		seen[pos] = true
+		pass.Reportf(pos, format, args...)
+	}
+
+	// Laundering fires whether or not the function has its own ctx:
+	// a Plan-reachable helper minting context.Background() severs the
+	// request's cancellation chain either way. Nested literals are their
+	// own graph nodes and get their own visit.
+	inspectOwn(body, func(node ast.Node) {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if name := contextMint(pkg, call); name != "" {
+			report(call.Pos(),
+				"%s is reachable from Planner.Plan but calls context.%s(); it severs the request's cancellation chain — thread the incoming ctx through",
+				n.Name, name)
+		}
+	})
+
+	ctxObj := ctxParam(pkg, ftype)
+	if ctxObj == nil {
+		return
+	}
+	derived := derivedCtxVars(pkg, body, ctxObj)
+
+	// Dropping: a context-typed argument not derived from the parameter.
+	used := false
+	inspectAll(body, func(node ast.Node) {
+		if id, ok := node.(*ast.Ident); ok && pkg.Info.Uses[id] == ctxObj {
+			used = true
+		}
+	})
+	inspectOwn(body, func(node ast.Node) {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		for _, arg := range call.Args {
+			if !isContextType(pkg.Info.TypeOf(arg)) || isNilIdent(arg) {
+				continue
+			}
+			if c, ok := ast.Unparen(arg).(*ast.CallExpr); ok && contextMint(pkg, c) != "" {
+				continue // already reported as laundering
+			}
+			if !mentionsAny(pkg, arg, derived) {
+				report(arg.Pos(),
+					"%s passes a context not derived from its ctx parameter; the callee escapes the request's cancellation chain",
+					n.Name)
+			}
+		}
+	})
+
+	// Stranding: phase spans or n-scaled loops with the ctx unread.
+	if used {
+		return
+	}
+	if pos, what := firstPhasePoint(pkg, body, ftype); pos.IsValid() {
+		report(pos,
+			"%s takes ctx but never consults it, yet %s; check ctx.Err() at phase boundaries so cancellation can interrupt the plan",
+			n.Name, what)
+	}
+}
+
+// inspectOwn walks a body without descending into nested func literals.
+func inspectOwn(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		visit(node)
+		return true
+	})
+}
+
+// inspectAll walks a body including nested literals (handing ctx to a
+// closure counts as consulting it — the closure is its own node).
+func inspectAll(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(node ast.Node) bool {
+		visit(node)
+		return true
+	})
+}
+
+// contextMint returns "Background" or "TODO" when the call mints a
+// fresh context from the context package, else "".
+func contextMint(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		return name
+	}
+	return ""
+}
+
+// ctxParam returns the object of the function's first context.Context
+// parameter, or nil.
+func ctxParam(pkg *Package, ftype *ast.FuncType) types.Object {
+	if ftype.Params == nil {
+		return nil
+	}
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			obj := pkg.Info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// derivedCtxVars computes the local variables holding contexts derived
+// from ctxObj: the parameter itself plus anything assigned from an
+// expression mentioning a derived variable (fixpoint, so WithCancel
+// chains of any depth count).
+func derivedCtxVars(pkg *Package, body *ast.BlockStmt, ctxObj types.Object) map[types.Object]bool {
+	derived := map[types.Object]bool{ctxObj: true}
+	for {
+		grew := false
+		ast.Inspect(body, func(node ast.Node) bool {
+			as, ok := node.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			rhsDerived := false
+			for _, rhs := range as.Rhs {
+				if mentionsAny(pkg, rhs, derived) {
+					rhsDerived = true
+					break
+				}
+			}
+			if !rhsDerived {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := pkg.Info.Defs[id]
+				if obj == nil {
+					obj = pkg.Info.Uses[id]
+				}
+				if obj != nil && isContextType(obj.Type()) && !derived[obj] {
+					derived[obj] = true
+					grew = true
+				}
+			}
+			return true
+		})
+		if !grew {
+			return derived
+		}
+	}
+}
+
+// mentionsAny reports whether the expression mentions any object in set.
+func mentionsAny(pkg *Package, e ast.Expr, set map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(node ast.Node) bool {
+		if id, ok := node.(*ast.Ident); ok && set[pkg.Info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// firstPhasePoint returns the first phase-boundary span start or
+// n-scaled loop in the body, with a description, or an invalid Pos.
+func firstPhasePoint(pkg *Package, body *ast.BlockStmt, ftype *ast.FuncType) (token.Pos, string) {
+	params := map[types.Object]bool{}
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	var pos token.Pos
+	var what string
+	ast.Inspect(body, func(node ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			if isSpanStart(pkg, x) {
+				pos, what = x.Pos(), "starts a phase span"
+				return false
+			}
+		case *ast.RangeStmt:
+			if paramScaled(pkg, x.X, params) {
+				pos, what = x.Pos(), "ranges over its input"
+				return false
+			}
+		case *ast.ForStmt:
+			if x.Cond != nil && condParamScaled(pkg, x.Cond, params) {
+				pos, what = x.Pos(), "loops over its input"
+				return false
+			}
+		}
+		return true
+	})
+	return pos, what
+}
+
+// isSpanStart recognizes a phase-boundary span: a Start or Child method
+// call on an obs Trace/Span value (matched by type name so fixtures can
+// model the shape without importing internal/obs).
+func isSpanStart(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Start" && sel.Sel.Name != "Child") {
+		return false
+	}
+	t := pkg.Info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Trace" || name == "Span"
+}
+
+// paramScaled reports whether the expression's base variable is one of
+// the function's parameters (a loop over it scales with the input).
+func paramScaled(pkg *Package, e ast.Expr, params map[types.Object]bool) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return params[pkg.Info.Uses[x]]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// len(x), cap(x): scale with their operand
+			if len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// condParamScaled reports whether a for condition compares against a
+// parameter-derived bound (i < len(p.items), i < p.n, ...).
+func condParamScaled(pkg *Package, cond ast.Expr, params map[types.Object]bool) bool {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+		return paramScaled(pkg, bin.X, params) || paramScaled(pkg, bin.Y, params)
+	}
+	return false
+}

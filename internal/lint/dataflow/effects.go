@@ -1,0 +1,861 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mobicol/internal/lint/callgraph"
+)
+
+// funcState is the per-function abstract interpreter: an environment
+// mapping local objects to taint masks, iterated to a fixpoint (all
+// joins are monotone over a finite lattice, so the result is
+// independent of statement order), then one collection pass.
+type funcState struct {
+	a            *Analysis
+	info         *types.Info
+	sum          *Summary
+	env          map[types.Object]taint
+	namedResults []types.Object
+	collect      bool
+	changed      bool
+}
+
+// analyze recomputes one node's summary; reports whether its flow
+// masks changed (the cross-function dependency the SCC loop tracks).
+func (a *Analysis) analyze(n *callgraph.Node) bool {
+	s := a.sums[n]
+	pkg := a.pkgs[n.PkgPath]
+	var body *ast.BlockStmt
+	var ftype *ast.FuncType
+	if n.Decl != nil {
+		body, ftype = n.Decl.Body, n.Decl.Type
+	} else {
+		body, ftype = n.Lit.Body, n.Lit.Type
+	}
+	if body == nil {
+		return false
+	}
+	st := &funcState{a: a, info: pkg.Info, sum: s, env: map[types.Object]taint{}}
+	for i, obj := range s.Params {
+		if obj == nil || i >= 64 {
+			continue
+		}
+		st.env[obj] = seedTaint(obj.Type(), uint64(1)<<uint(i))
+	}
+	if ftype.Results != nil {
+		for _, field := range ftype.Results.List {
+			if len(field.Names) == 0 {
+				st.namedResults = append(st.namedResults, nil)
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name == "_" {
+					st.namedResults = append(st.namedResults, nil)
+				} else {
+					st.namedResults = append(st.namedResults, pkg.Info.Defs[name])
+				}
+			}
+		}
+	}
+	oldFlows := append([]FlowMask(nil), s.Flows...)
+	for i := 0; i < 64; i++ {
+		st.changed = false
+		st.walkStmt(body)
+		if !st.changed {
+			break
+		}
+	}
+	s.Writes, s.Retains, s.Returns, s.Calls = nil, nil, nil, nil
+	st.collect = true
+	st.walkStmt(body)
+	return !flowsEq(oldFlows, s.Flows)
+}
+
+// seedTaint is a parameter's initial taint: reference types alias the
+// caller's memory directly (D), reference-carrying value types are
+// local copies whose contents alias it (V), scalars carry nothing.
+func seedTaint(t types.Type, bit uint64) taint {
+	if isRefType(t) {
+		return taint{d: bit}
+	}
+	if refCarrying(t) {
+		return taint{v: bit}
+	}
+	return taint{}
+}
+
+// isRefType reports whether values of t are references to memory.
+func isRefType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// refCarrying reports whether values of t can hold references to
+// mutable memory. Strings are excluded: their backing is immutable, so
+// neither writes nor retention can observe sharing. This is the
+// precision barrier that lets a planner return fresh tours of value
+// points built from a protected network.
+func refCarrying(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if refCarrying(u.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return refCarrying(u.Elem())
+	default:
+		return isRefType(t)
+	}
+}
+
+// load is the taint of a value read one field/element/deref from base:
+// a reference field points at least one level past the container (R),
+// a value struct copies contents (V), scalars drop everything.
+func load(base taint, t types.Type) taint {
+	if base.empty() || t == nil {
+		return taint{}
+	}
+	if isRefType(t) {
+		return taint{r: base.any()}
+	}
+	if refCarrying(t) {
+		return taint{v: base.any()}
+	}
+	return taint{}
+}
+
+func (st *funcState) typeOf(e ast.Expr) types.Type { return st.info.TypeOf(e) }
+
+// objOf resolves an identifier to its object (use or definition).
+func (st *funcState) objOf(id *ast.Ident) types.Object {
+	if obj := st.info.Uses[id]; obj != nil {
+		return obj
+	}
+	return st.info.Defs[id]
+}
+
+// isPkgLevel reports whether v is a package-level variable.
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// joinEnv joins t into obj's taint, tracking changes for the fixpoint.
+func (st *funcState) joinEnv(obj types.Object, t taint) {
+	if obj == nil || t.empty() {
+		return
+	}
+	cur := st.env[obj]
+	next := cur.or(t)
+	if !next.eq(cur) {
+		st.env[obj] = next
+		st.changed = true
+	}
+}
+
+// joinFlow joins t into result position i's flow mask.
+func (st *funcState) joinFlow(i int, t taint) {
+	if i >= len(st.sum.Flows) || t.empty() {
+		return
+	}
+	fm := st.sum.Flows[i]
+	next := FlowMask{D: fm.D | t.d, R: fm.R | t.r, V: fm.V | t.v}
+	if next != fm {
+		st.sum.Flows[i] = next
+		st.changed = true
+	}
+}
+
+// ---- statements ----
+
+func (st *funcState) walkStmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, stmt := range x.List {
+			st.walkStmt(stmt)
+		}
+	case *ast.ExprStmt:
+		st.eval(x.X)
+	case *ast.AssignStmt:
+		st.assign(x)
+	case *ast.IncDecStmt:
+		st.store(x.X, taint{}, x.X.Pos())
+	case *ast.DeclStmt:
+		gd, ok := x.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			st.valueSpec(vs)
+		}
+	case *ast.ReturnStmt:
+		st.ret(x)
+	case *ast.IfStmt:
+		st.walkStmt(x.Init)
+		st.eval(x.Cond)
+		st.walkStmt(x.Body)
+		st.walkStmt(x.Else)
+	case *ast.ForStmt:
+		st.walkStmt(x.Init)
+		if x.Cond != nil {
+			st.eval(x.Cond)
+		}
+		st.walkStmt(x.Post)
+		st.walkStmt(x.Body)
+	case *ast.RangeStmt:
+		st.rangeStmt(x)
+	case *ast.SwitchStmt:
+		st.walkStmt(x.Init)
+		if x.Tag != nil {
+			st.eval(x.Tag)
+		}
+		st.walkStmt(x.Body)
+	case *ast.TypeSwitchStmt:
+		st.typeSwitch(x)
+	case *ast.CaseClause:
+		for _, e := range x.List {
+			st.eval(e)
+		}
+		for _, stmt := range x.Body {
+			st.walkStmt(stmt)
+		}
+	case *ast.SelectStmt:
+		st.walkStmt(x.Body)
+	case *ast.CommClause:
+		st.walkStmt(x.Comm)
+		for _, stmt := range x.Body {
+			st.walkStmt(stmt)
+		}
+	case *ast.SendStmt:
+		st.eval(x.Chan)
+		t := st.eval(x.Value)
+		if st.collect && t.any() != 0 {
+			st.sum.Retains = append(st.sum.Retains, RetainSite{
+				Pos: x.Arrow, D: t.d, R: t.r, V: t.v, Desc: "channel send",
+			})
+		}
+	case *ast.GoStmt:
+		st.callResults(x.Call)
+	case *ast.DeferStmt:
+		st.callResults(x.Call)
+	case *ast.LabeledStmt:
+		st.walkStmt(x.Stmt)
+	}
+}
+
+func (st *funcState) valueSpec(vs *ast.ValueSpec) {
+	if len(vs.Values) == 0 {
+		return
+	}
+	if len(vs.Values) == len(vs.Names) {
+		for i, name := range vs.Names {
+			t := st.eval(vs.Values[i])
+			if name.Name != "_" {
+				st.joinEnv(st.info.Defs[name], t)
+			}
+		}
+		return
+	}
+	// var a, b = f()
+	var ts []taint
+	if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+		ts = st.callResults(call)
+	} else {
+		ts = []taint{st.eval(vs.Values[0])}
+	}
+	for i, name := range vs.Names {
+		if name.Name == "_" {
+			continue
+		}
+		var t taint
+		if i < len(ts) {
+			t = ts[i]
+		}
+		st.joinEnv(st.info.Defs[name], t)
+	}
+}
+
+func (st *funcState) assign(x *ast.AssignStmt) {
+	if len(x.Lhs) == len(x.Rhs) {
+		ts := make([]taint, len(x.Rhs))
+		for i := range x.Rhs {
+			ts[i] = st.eval(x.Rhs[i])
+		}
+		for i := range x.Lhs {
+			st.store(x.Lhs[i], ts[i], x.Lhs[i].Pos())
+		}
+		return
+	}
+	// Multi-value: a call, type assertion, map index, or receive.
+	var ts []taint
+	if call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr); ok {
+		ts = st.callResults(call)
+	} else {
+		ts = []taint{st.eval(x.Rhs[0])}
+	}
+	for i := range x.Lhs {
+		var t taint
+		if i < len(ts) {
+			t = ts[i]
+		}
+		st.store(x.Lhs[i], t, x.Lhs[i].Pos())
+	}
+}
+
+func (st *funcState) rangeStmt(x *ast.RangeStmt) {
+	base := st.eval(x.X)
+	if x.Key != nil {
+		st.store(x.Key, load(base, st.typeOf(x.Key)), x.Key.Pos())
+	}
+	if x.Value != nil {
+		st.store(x.Value, load(base, st.typeOf(x.Value)), x.Value.Pos())
+	}
+	st.walkStmt(x.Body)
+}
+
+func (st *funcState) typeSwitch(x *ast.TypeSwitchStmt) {
+	st.walkStmt(x.Init)
+	var subject taint
+	switch a := x.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := ast.Unparen(a.Rhs[0]).(*ast.TypeAssertExpr); ok {
+				subject = st.eval(ta.X)
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := ast.Unparen(a.X).(*ast.TypeAssertExpr); ok {
+			subject = st.eval(ta.X)
+		}
+	}
+	for _, stmt := range x.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if obj := st.info.Implicits[clause]; obj != nil {
+			st.joinEnv(obj, subject)
+		}
+		for _, s := range clause.Body {
+			st.walkStmt(s)
+		}
+	}
+}
+
+func (st *funcState) ret(x *ast.ReturnStmt) {
+	var union taint
+	if len(x.Results) == 0 {
+		for i, obj := range st.namedResults {
+			if obj == nil {
+				continue
+			}
+			t := st.env[obj]
+			st.joinFlow(i, t)
+			union = union.or(t)
+		}
+	} else if call, ok := tupleForward(x.Results, len(st.sum.Flows)); ok {
+		ts := st.callResults(call)
+		for i, t := range ts {
+			st.joinFlow(i, t)
+			union = union.or(t)
+		}
+	} else {
+		for i, res := range x.Results {
+			t := st.eval(res)
+			st.joinFlow(i, t)
+			union = union.or(t)
+		}
+	}
+	if st.collect && union.any() != 0 {
+		st.sum.Returns = append(st.sum.Returns, RetainSite{
+			Pos: x.Pos(), D: union.d, R: union.r, V: union.v, Desc: "return",
+		})
+	}
+}
+
+// tupleForward detects `return f()` forwarding a multi-result call.
+func tupleForward(results []ast.Expr, nres int) (*ast.CallExpr, bool) {
+	if len(results) != 1 || nres <= 1 {
+		return nil, false
+	}
+	call, ok := ast.Unparen(results[0]).(*ast.CallExpr)
+	return call, ok
+}
+
+// ---- stores ----
+
+// region describes the memory an lvalue designates: masks of parameters
+// whose shared memory it lives in, the local variable at the base of
+// the access path (for container-taint updates), and whether the base
+// is a package-level variable.
+type region struct {
+	d, r   uint64
+	root   types.Object
+	global bool
+}
+
+func (st *funcState) store(lhs ast.Expr, rhs taint, pos token.Pos) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj := st.objOf(id)
+		if v, ok := obj.(*types.Var); ok && isPkgLevel(v) {
+			if st.collect && rhs.any() != 0 {
+				st.sum.Retains = append(st.sum.Retains, RetainSite{
+					Pos: pos, D: rhs.d, R: rhs.r, V: rhs.v,
+					Desc: "store into package-level " + id.Name,
+				})
+			}
+			return
+		}
+		st.joinEnv(obj, rhs)
+		return
+	}
+	reg := st.lvalRegion(lhs)
+	if st.collect && reg.d|reg.r != 0 {
+		st.sum.Writes = append(st.sum.Writes, WriteSite{Pos: pos, D: reg.d, R: reg.r, Desc: "assignment"})
+	}
+	if st.collect && rhs.any() != 0 && (reg.global || reg.d|reg.r != 0) {
+		desc := "store into shared memory"
+		if reg.global {
+			desc = "store into package-level memory"
+		}
+		st.sum.Retains = append(st.sum.Retains, RetainSite{
+			Pos: pos, D: rhs.d, R: rhs.r, V: rhs.v, Desc: desc,
+		})
+	}
+	if reg.root != nil && rhs.any() != 0 {
+		st.joinEnv(reg.root, taint{v: rhs.any()})
+	}
+}
+
+func (st *funcState) lvalRegion(e ast.Expr) region {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := st.objOf(x)
+		if v, ok := obj.(*types.Var); ok {
+			if isPkgLevel(v) {
+				return region{global: true}
+			}
+			return region{root: v}
+		}
+		return region{}
+	case *ast.SelectorExpr:
+		if sel, ok := st.info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if isPointer(st.typeOf(x.X)) || sel.Indirect() {
+				t := st.eval(x.X)
+				return region{d: t.d, r: t.r, root: st.baseLocal(x.X)}
+			}
+			return st.lvalRegion(x.X)
+		}
+		if v, ok := st.info.Uses[x.Sel].(*types.Var); ok && isPkgLevel(v) {
+			return region{global: true}
+		}
+		return region{}
+	case *ast.IndexExpr:
+		st.eval(x.Index)
+		switch st.typeOf(x.X).Underlying().(type) {
+		case *types.Slice, *types.Map, *types.Pointer:
+			t := st.eval(x.X)
+			return region{d: t.d, r: t.r, root: st.baseLocal(x.X)}
+		}
+		return st.lvalRegion(x.X) // array value
+	case *ast.StarExpr:
+		t := st.eval(x.X)
+		return region{d: t.d, r: t.r, root: st.baseLocal(x.X)}
+	}
+	return region{}
+}
+
+// baseLocal chases an access path to its base local variable, if any.
+func (st *funcState) baseLocal(e ast.Expr) types.Object {
+	for {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			if v, ok := st.objOf(x).(*types.Var); ok && !isPkgLevel(v) {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func isPointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+// ---- expressions ----
+
+func (st *funcState) eval(e ast.Expr) taint {
+	switch x := e.(type) {
+	case nil:
+		return taint{}
+	case *ast.ParenExpr:
+		return st.eval(x.X)
+	case *ast.Ident:
+		if obj := st.objOf(x); obj != nil {
+			return st.env[obj]
+		}
+		return taint{}
+	case *ast.SelectorExpr:
+		if sel, ok := st.info.Selections[x]; ok {
+			switch sel.Kind() {
+			case types.FieldVal:
+				return load(st.eval(x.X), st.typeOf(e))
+			case types.MethodVal:
+				// A method value binds its receiver like a closure capture.
+				return taint{v: st.eval(x.X).any()}
+			}
+			return taint{}
+		}
+		return taint{} // package-qualified: globals are not taint sources
+	case *ast.IndexExpr:
+		st.eval(x.Index)
+		return load(st.eval(x.X), st.typeOf(e))
+	case *ast.IndexListExpr:
+		for _, idx := range x.Indices {
+			st.eval(idx)
+		}
+		return load(st.eval(x.X), st.typeOf(e))
+	case *ast.SliceExpr:
+		st.eval(x.Low)
+		st.eval(x.High)
+		st.eval(x.Max)
+		return st.eval(x.X) // same backing array
+	case *ast.StarExpr:
+		return load(st.eval(x.X), st.typeOf(e))
+	case *ast.UnaryExpr:
+		switch x.Op {
+		case token.AND:
+			return st.addrOf(x.X)
+		case token.ARROW:
+			return load(st.eval(x.X), st.typeOf(e))
+		}
+		st.eval(x.X)
+		return taint{}
+	case *ast.BinaryExpr:
+		st.eval(x.X)
+		st.eval(x.Y)
+		return taint{}
+	case *ast.TypeAssertExpr:
+		return st.eval(x.X)
+	case *ast.CompositeLit:
+		var t taint
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				t.v |= st.eval(kv.Key).any()
+				t.v |= st.eval(kv.Value).any()
+			} else {
+				t.v |= st.eval(el).any()
+			}
+		}
+		return t
+	case *ast.CallExpr:
+		var t taint
+		for _, rt := range st.callResults(x) {
+			t = t.or(rt)
+		}
+		return t
+	case *ast.FuncLit:
+		st.walkStmt(x.Body)
+		return taint{v: st.captures(x)}
+	}
+	return taint{}
+}
+
+// captures is the union of taint carried by variables the literal
+// captures from enclosing scopes.
+func (st *funcState) captures(lit *ast.FuncLit) uint64 {
+	var mask uint64
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := st.info.Uses[id]
+		if obj == nil || obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		mask |= st.env[obj].any()
+		return true
+	})
+	return mask
+}
+
+// addrOf is the taint of &e: a pointer into shared memory when e's
+// region is parameter-reachable, otherwise a fresh pointer carrying
+// whatever e holds.
+func (st *funcState) addrOf(e ast.Expr) taint {
+	reg := st.lvalRegion(e)
+	if reg.d|reg.r != 0 {
+		return taint{d: reg.d, r: reg.r}
+	}
+	return taint{v: st.eval(e).any()}
+}
+
+// ---- calls ----
+
+// callResults interprets one call: argument taints are recorded as
+// CallFlow sites for module-internal targets, result taints follow the
+// callee's flow masks, and a handful of known external writers
+// (append, copy, sort.*) get write effects.
+func (st *funcState) callResults(call *ast.CallExpr) []taint {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions preserve representation for reference kinds and drop
+	// taint for value kinds that copy (notably string <-> []byte).
+	if tv, ok := st.info.Types[fun]; ok && tv.IsType() {
+		var t taint
+		if len(call.Args) == 1 {
+			t = st.eval(call.Args[0])
+		}
+		if !refCarrying(tv.Type) {
+			t = taint{}
+		}
+		return []taint{t}
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := st.info.Uses[id].(*types.Builtin); ok {
+			return []taint{st.builtin(call, b)}
+		}
+	}
+
+	var recvTaint taint
+	var recvExpr ast.Expr
+	methodExpr := false
+	switch f := fun.(type) {
+	case *ast.Ident:
+		// direct or indirect call through a name: nothing else to eval
+	case *ast.SelectorExpr:
+		if sel, ok := st.info.Selections[f]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				recvExpr = f.X
+				recvTaint = st.eval(f.X)
+			case types.MethodExpr:
+				methodExpr = true
+			default:
+				st.eval(fun) // field of function type
+			}
+		}
+		// package-qualified functions carry no taint
+	default:
+		st.eval(fun)
+	}
+
+	args := make([]taint, len(call.Args))
+	for i, arg := range call.Args {
+		args[i] = st.eval(arg)
+	}
+
+	nres := resultCount(st.typeOf(call))
+	res := make([]taint, nres)
+	targets := st.a.graph.TargetsOf(call)
+	for _, tgt := range targets {
+		s := st.a.sums[tgt]
+		if s == nil {
+			continue
+		}
+		st.bindCall(call, s, recvExpr, recvTaint, methodExpr, args, res)
+	}
+	if len(targets) == 0 {
+		st.externalCall(call, fun, args)
+	}
+	return res
+}
+
+// bindCall maps one call's receiver and arguments onto a target's
+// parameters, recording CallFlow sites and joining result taint.
+func (st *funcState) bindCall(call *ast.CallExpr, s *Summary, recvExpr ast.Expr, recvTaint taint, methodExpr bool, args []taint, res []taint) {
+	type binding struct {
+		pos int
+		t   taint
+	}
+	var binds []binding
+	shift := 0
+	if s.HasRecv && !methodExpr {
+		shift = 1
+		if recvExpr != nil {
+			rt := recvTaint
+			// Calling a pointer method on an addressable value takes its
+			// address implicitly: the receiver aliases the value's region.
+			if len(s.Params) > 0 && s.Params[0] != nil &&
+				isPointer(s.Params[0].Type()) && !isPointer(st.typeOf(recvExpr)) {
+				if reg := st.lvalRegion(recvExpr); reg.d|reg.r != 0 {
+					rt = rt.or(taint{d: reg.d, r: reg.r})
+				}
+			}
+			binds = append(binds, binding{0, rt})
+		}
+	}
+	nparams := len(s.Params)
+	for j, at := range args {
+		pos := shift + j
+		if pos >= nparams {
+			if nparams == 0 {
+				break
+			}
+			pos = nparams - 1 // variadic tail
+		}
+		binds = append(binds, binding{pos, at})
+	}
+	for _, bd := range binds {
+		if bd.t.empty() || bd.pos >= 64 {
+			continue
+		}
+		if st.collect {
+			st.sum.Calls = append(st.sum.Calls, CallFlow{
+				Callee: s.Node, Param: bd.pos,
+				D: bd.t.d, R: bd.t.r, V: bd.t.v, Pos: call.Lparen,
+			})
+		}
+		bit := uint64(1) << uint(bd.pos)
+		for ri := range res {
+			if ri >= len(s.Flows) {
+				break
+			}
+			fm := s.Flows[ri]
+			if fm.D&bit != 0 {
+				res[ri] = res[ri].or(bd.t)
+			}
+			if fm.R&bit != 0 {
+				res[ri].r |= bd.t.any()
+			}
+			if fm.V&bit != 0 {
+				res[ri].v |= bd.t.any()
+			}
+		}
+	}
+}
+
+// externalCall applies effects for callees outside the module. The
+// default is effect- and flow-free; the sort package's in-place
+// sorters are the one allowlisted family of external writers.
+func (st *funcState) externalCall(call *ast.CallExpr, fun ast.Expr, args []taint) {
+	if !st.collect || len(args) == 0 {
+		return
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := st.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sort" {
+		return
+	}
+	switch fn.Name() {
+	case "Sort", "Stable", "Slice", "SliceStable", "Ints", "Float64s", "Strings":
+		if args[0].d|args[0].r != 0 {
+			st.sum.Writes = append(st.sum.Writes, WriteSite{
+				Pos: call.Lparen, D: args[0].d, R: args[0].r, Desc: "sort." + fn.Name(),
+			})
+		}
+	}
+}
+
+// builtin applies effects for builtin calls.
+func (st *funcState) builtin(call *ast.CallExpr, b *types.Builtin) taint {
+	args := make([]taint, len(call.Args))
+	for i, arg := range call.Args {
+		args[i] = st.eval(arg)
+	}
+	switch b.Name() {
+	case "append":
+		t := args[0]
+		var elems uint64
+		// Scalar elements break the chain, same as load: appending ints
+		// copied out of a tainted slice carries no references, so the
+		// canonical "copy the data" fix (append(nil, shared...)) is clean.
+		if et := sliceElem(st.info.TypeOf(call)); et != nil && (isRefType(et) || refCarrying(et)) {
+			for _, at := range args[1:] {
+				elems |= at.any()
+			}
+		}
+		t.v |= elems
+		if st.collect && args[0].d|args[0].r != 0 {
+			// Appending may write into the existing backing array.
+			st.sum.Writes = append(st.sum.Writes, WriteSite{
+				Pos: call.Lparen, D: args[0].d, R: args[0].r, Desc: "append",
+			})
+			if elems != 0 {
+				st.sum.Retains = append(st.sum.Retains, RetainSite{
+					Pos: call.Lparen, V: elems, Desc: "append into shared slice",
+				})
+			}
+		}
+		return t
+	case "copy", "delete", "clear":
+		if st.collect && args[0].d|args[0].r != 0 {
+			st.sum.Writes = append(st.sum.Writes, WriteSite{
+				Pos: call.Lparen, D: args[0].d, R: args[0].r, Desc: b.Name(),
+			})
+			if b.Name() == "copy" && len(args) > 1 && args[1].any() != 0 {
+				if et := sliceElem(st.info.TypeOf(call.Args[0])); et != nil && (isRefType(et) || refCarrying(et)) {
+					st.sum.Retains = append(st.sum.Retains, RetainSite{
+						Pos: call.Lparen, V: args[1].any(), Desc: "copy into shared slice",
+					})
+				}
+			}
+		}
+	}
+	return taint{}
+}
+
+// sliceElem returns the element type when t's underlying type is a
+// slice, else nil.
+func sliceElem(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	if sl, ok := t.Underlying().(*types.Slice); ok {
+		return sl.Elem()
+	}
+	return nil
+}
+
+// resultCount is the number of values a call expression produces.
+func resultCount(t types.Type) int {
+	switch u := t.(type) {
+	case nil:
+		return 0
+	case *types.Tuple:
+		return u.Len()
+	default:
+		if u, ok := t.Underlying().(*types.Tuple); ok {
+			return u.Len()
+		}
+		return 1
+	}
+}

@@ -66,10 +66,11 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 }
 
 // Analyzers returns fresh instances of the full suite, in reporting order.
-// The first five are syntactic; unitcheck, loopcapture, and convcheck
-// need the go/types information the loader attaches to each Package, and
-// alloccheck and parpure additionally use the whole-module call graph
-// Run builds into each Pass.
+// The first five are syntactic; unitcheck, loopcapture, convcheck, and
+// errflow need the go/types information the loader attaches to each
+// Package; alloccheck and parpure additionally use the whole-module call
+// graph Run builds into each Pass; purecheck and ctxflow use the
+// dataflow summaries computed over that graph.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer(),
@@ -82,6 +83,9 @@ func Analyzers() []*Analyzer {
 		ConvCheckAnalyzer(),
 		AllocCheckAnalyzer(),
 		ParPureAnalyzer(),
+		PureCheckAnalyzer(),
+		CtxFlowAnalyzer(),
+		ErrFlowAnalyzer(),
 	}
 }
 
@@ -128,8 +132,12 @@ func parseDirectives(fset *token.FileSet, file *ast.File, known map[string]bool,
 // findings sorted by position. Suppressed findings are dropped; malformed
 // suppressions are reported under the pseudo-analyzer "mdglint".
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	known := make(map[string]bool, len(analyzers))
-	for _, a := range analyzers {
+	// Directive validation runs against the full suite's names, not just
+	// the analyzers in this invocation: a focused subset run (mdglint
+	// -run purecheck,...) must not misreport legitimate suppressions for
+	// analyzers that are simply inactive.
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
 
@@ -175,18 +183,31 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		kept = append(kept, f)
 	}
 
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
+	SortFindings(kept)
+	return kept
+}
+
+// SortFindings orders findings globally by (file, line, analyzer), then
+// column and message as tie-breakers. The analyzer key before the
+// column keeps -json diffs stable across analyzer additions: two
+// analyzers flagging the same line always appear in name order, however
+// their column positions shift. The CLI applies the same order after
+// merging load diagnostics into the analyzer findings.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		return a.Message < b.Message
 	})
-	return kept
 }

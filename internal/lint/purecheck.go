@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/token"
+
+	"mobicol/internal/lint/callgraph"
+)
+
+// PureCheckAnalyzer builds the Scenario purity checker over the
+// dataflow summaries.
+//
+// The engine seam hands every registered planner a Scenario the caller
+// may share across concurrent requests (ROADMAP item 1: mdgserved plans
+// one scenario per network per round). purecheck statically proves the
+// two properties that make that sharing safe: no function reachable
+// from a Planner.Plan method writes through pointers, slices, or maps
+// reachable from the Scenario parameter, and none retains a
+// Scenario-derived reference past return — no stashing into globals,
+// receiver fields, channels, or the returned plan (captured closures
+// included).
+//
+// The worklist descends from each Plan root through the per-function
+// CallFlow records, tracking a protection level per (function,
+// parameter): Direct when the parameter itself aliases scenario memory,
+// Contents when it is a fresh container whose reference contents do.
+// At Contents level, writes to the container's own memory are local
+// initialization and stay silent — this is what lets an adapter build a
+// fresh shdgp.Problem around sc.Net and let the planner fill it in —
+// while writes one reference load deeper (the shared network) still
+// fire. Retention fires at either level: storing a fresh container
+// escapes the shared references it carries.
+//
+// //mdglint:allow-mut(reason) on a declaration marks an audited
+// mutation boundary the worklist does not descend through; on a
+// statement line it excuses that site only. Malformed directives are
+// reported and cannot suppress anything (the PR 6 idiom).
+func PureCheckAnalyzer() *Analyzer {
+	// One seen-set per analyzer instance: Run reuses the instance across
+	// packages and the worklist spans the module, so every finding is
+	// reported exactly once.
+	seen := map[pureSeenKey]bool{}
+	return &Analyzer{
+		Name: "purecheck",
+		Doc:  "flag Scenario mutation or retention reachable from a registered Planner.Plan",
+		Run:  func(pass *Pass) { runPureCheck(pass, seen) },
+	}
+}
+
+// pureSeenKey identifies one (site, finding kind) pair.
+type pureSeenKey struct {
+	pos  token.Pos
+	kind byte
+}
+
+// pureItem is one worklist entry: a function parameter protected at a
+// level. direct means the parameter itself aliases scenario memory;
+// otherwise only its reference contents do.
+type pureItem struct {
+	node   *callgraph.Node
+	param  int
+	direct bool
+}
+
+func runPureCheck(pass *Pass, seen map[pureSeenKey]bool) {
+	if pass.Mod == nil || pass.Mod.Graph == nil {
+		return
+	}
+	roots := pass.Mod.PlanRoots()
+	rootScenario := map[*callgraph.Node]int{}
+	var queue []pureItem
+	visited := map[pureItem]bool{}
+	push := func(it pureItem) {
+		if it.param < 64 && !visited[it] {
+			visited[it] = true
+			queue = append(queue, it)
+		}
+	}
+	for _, r := range roots {
+		if r.ScenarioParam < 0 {
+			continue
+		}
+		rootScenario[r.Node] = r.ScenarioParam
+		push(pureItem{r.Node, r.ScenarioParam, r.ScenarioPtr})
+	}
+	if len(queue) == 0 {
+		return
+	}
+	df := pass.Mod.Dataflow()
+
+	report := func(pos token.Pos, kind byte, format string, args ...any) {
+		key := pureSeenKey{pos, kind}
+		if seen[key] || pass.IsTestFile(pos) {
+			return
+		}
+		seen[key] = true
+		if pass.Mod.MutAllowedAt(pass.Pkg, pos) != "" {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if _, boundary := pass.Mod.MutBoundary(it.node); boundary {
+			continue
+		}
+		if pass.IsTestFile(it.node.Pos) {
+			continue
+		}
+		s := df.Summary(it.node)
+		if s == nil {
+			continue
+		}
+		bit := uint64(1) << uint(it.param)
+		for _, w := range s.Writes {
+			if w.R&bit != 0 || (it.direct && w.D&bit != 0) {
+				report(w.Pos, 'w',
+					"%s writes memory reachable from the protected Scenario (%s); planners must treat the scenario as shared and immutable",
+					it.node.Name, w.Desc)
+			}
+		}
+		for _, rt := range s.Retains {
+			if (rt.D|rt.R|rt.V)&bit != 0 {
+				report(rt.Pos, 'r',
+					"%s retains a Scenario-derived reference past return (%s); copy the data instead of keeping the reference",
+					it.node.Name, rt.Desc)
+			}
+		}
+		if sc, isRoot := rootScenario[it.node]; isRoot && sc == it.param {
+			for _, ret := range s.Returns {
+				if (ret.D|ret.R|ret.V)&bit != 0 {
+					report(ret.Pos, 'R',
+						"%s returns a Scenario-derived reference; the plan outlives the request and would share scenario memory",
+						it.node.Name)
+				}
+			}
+		}
+		for _, cf := range s.Calls {
+			d, r, v := cf.D&bit, cf.R&bit, cf.V&bit
+			if d|r|v == 0 {
+				continue
+			}
+			push(pureItem{cf.Callee, cf.Param, r != 0 || (d != 0 && it.direct)})
+		}
+	}
+}

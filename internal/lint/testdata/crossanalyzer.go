@@ -1,11 +1,16 @@
-// Fixture tripping all ten analyzers in one file. The test loads it
-// under import path mobicol/internal/sim, which puts the determinism
+// Fixture tripping all thirteen analyzers in one file. The test loads
+// it under import path mobicol/internal/sim, which puts the determinism
 // map-iteration rule, the nopanic internal/ scope, and the convcheck hot
 // planning-path scope all in force, and asserts exact finding counts and
-// ordering: one finding per analyzer, positions strictly increasing.
+// ordering: one finding per analyzer, positions strictly increasing. The
+// Planner/Scenario pair at the bottom activates the seam analyzers
+// (purecheck, ctxflow) the same way the real engine package does.
 package fixture
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Meters mirrors geom.Meters for the unitcheck dimension rules.
 type Meters float64
@@ -83,4 +88,28 @@ func parShared(p *Pool, n int) {
 
 func bump(i int) {
 	hits += i // parpure
+}
+
+func overwriteErr() error {
+	err := fallible() // errflow
+	err = fallible()
+	return err
+}
+
+// Scenario mirrors engine.Scenario for the seam-analyzer root discovery.
+type Scenario struct{ Nodes []int }
+
+// Planner mirrors the engine seam contract.
+type Planner interface {
+	Plan(ctx context.Context, sc Scenario) error
+}
+
+type crossPlanner struct{}
+
+// Plan trips the two seam analyzers on consecutive lines.
+func (p *crossPlanner) Plan(ctx context.Context, sc Scenario) error {
+	sc.Nodes[0] = 1            // purecheck
+	bg := context.Background() // ctxflow
+	_ = bg
+	return nil
 }

@@ -1,0 +1,107 @@
+// Fixture for the ctxflow analyzer: a Planner seam whose helpers
+// launder, drop, or strand the request context. Trace/Span model the
+// obs phase-boundary span shape by name, which is how isSpanStart
+// matches them without importing internal/obs.
+package fixture
+
+import "context"
+
+// Trace mirrors obs.Trace.
+type Trace struct{}
+
+// Span mirrors obs.Span.
+type Span struct{}
+
+// Start opens a phase span.
+func (t *Trace) Start(name string) *Span { return &Span{} }
+
+// Child opens a sub-span.
+func (s *Span) Child(name string) *Span { return &Span{} }
+
+// End closes the span.
+func (s *Span) End() {}
+
+// Scenario mirrors engine.Scenario.
+type Scenario struct {
+	Items []int
+}
+
+// Options mirrors engine.Options.
+type Options struct {
+	Obs *Trace
+}
+
+// Result is the plan payload.
+type Result struct{ N int }
+
+// Planner is the root-discovery shape.
+type Planner interface {
+	Plan(ctx context.Context, sc Scenario, opts Options) (*Result, error)
+}
+
+type launderer struct{}
+
+// Plan trips the laundering rule through a helper.
+func (l *launderer) Plan(ctx context.Context, sc Scenario, opts Options) (*Result, error) {
+	return mint(sc)
+}
+
+func mint(sc Scenario) (*Result, error) {
+	ctx := context.Background() // want "severs the request's cancellation chain"
+	return &Result{N: consume(ctx, sc)}, nil
+}
+
+func consume(ctx context.Context, sc Scenario) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return len(sc.Items)
+}
+
+type dropper struct {
+	bg context.Context
+}
+
+// Plan trips the dropping rule: the context handed down is not derived
+// from the incoming one.
+func (d *dropper) Plan(ctx context.Context, sc Scenario, opts Options) (*Result, error) {
+	return &Result{N: consume(d.bg, sc)}, nil // want "not derived from its ctx parameter"
+}
+
+type strander struct{}
+
+// Plan trips the stranding rule twice, through two helpers.
+func (s *strander) Plan(ctx context.Context, sc Scenario, opts Options) (*Result, error) {
+	spanPhase(ctx, sc, opts)
+	return &Result{N: loopPhase(ctx, sc)}, nil
+}
+
+// spanPhase starts a phase span but never consults ctx.
+func spanPhase(ctx context.Context, sc Scenario, opts Options) {
+	root := opts.Obs.Start("plan") // want "takes ctx but never consults it"
+	defer root.End()
+}
+
+// loopPhase runs an input-scaled loop but never consults ctx.
+func loopPhase(ctx context.Context, sc Scenario) int {
+	total := 0
+	for _, v := range sc.Items { // want "takes ctx but never consults it"
+		total += v
+	}
+	return total
+}
+
+type threaded struct{}
+
+// Plan is the negative case: the span phase checks ctx, the derived
+// context chain counts, and the loop helper receives the real ctx.
+func (t *threaded) Plan(ctx context.Context, sc Scenario, opts Options) (*Result, error) {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	root := opts.Obs.Start("plan")
+	defer root.End()
+	if err := sub.Err(); err != nil {
+		return nil, err
+	}
+	return &Result{N: consume(sub, sc)}, nil
+}

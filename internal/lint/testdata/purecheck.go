@@ -1,0 +1,101 @@
+// Fixture for the purecheck analyzer: a miniature engine seam with a
+// Planner interface, a Scenario whose Net is the shared memory, and one
+// implementation per rule. Findings ride the interprocedural dataflow:
+// the worklist descends from each Plan method through calls that carry
+// Scenario-derived taint.
+package fixture
+
+import "context"
+
+// Network mirrors wsn.Network: the reference payload a Scenario shares.
+type Network struct {
+	Nodes []int
+	cache []int
+}
+
+// Scenario mirrors engine.Scenario: a by-value struct carrying shared
+// references.
+type Scenario struct {
+	Net *Network
+}
+
+// Plan mirrors engine.Plan.
+type Plan struct {
+	Stops []int
+	Hook  func(i int) int
+}
+
+// Options mirrors engine.Options.
+type Options struct{}
+
+// Planner is the root-discovery shape: an interface named Planner with a
+// Plan method whose first parameter is a context.Context.
+type Planner interface {
+	Plan(ctx context.Context, sc Scenario, opts Options) (*Plan, error)
+}
+
+var lastNet *Network
+
+type mutator struct{}
+
+// Plan trips the write and retention rules, directly and through a
+// callee.
+func (m *mutator) Plan(ctx context.Context, sc Scenario, opts Options) (*Plan, error) {
+	sc.Net.Nodes[0] = 1 // want "writes memory reachable from the protected Scenario"
+	bump(sc.Net)
+	lastNet = sc.Net // want "retains a Scenario-derived reference past return"
+	return &Plan{Stops: append([]int(nil), sc.Net.Nodes...)}, nil
+}
+
+// bump is only flagged because a Plan root passes it scenario memory.
+func bump(nw *Network) {
+	nw.Nodes[0]++ // want "writes memory reachable from the protected Scenario"
+}
+
+type retainer struct{}
+
+// Plan trips the root-return rule: the closure keeps the scenario's
+// network alive inside the returned plan.
+func (r *retainer) Plan(ctx context.Context, sc Scenario, opts Options) (*Plan, error) {
+	nw := sc.Net
+	hook := func(i int) int { return nw.Nodes[i] }
+	return &Plan{Hook: hook}, nil // want "returns a Scenario-derived reference"
+}
+
+type clean struct{}
+
+// Plan is the negative case: fresh containers built around scenario
+// reads, scalar copies out of shared slices, and a fresh result.
+func (c *clean) Plan(ctx context.Context, sc Scenario, opts Options) (*Plan, error) {
+	stops := make([]int, 0, len(sc.Net.Nodes))
+	for _, n := range sc.Net.Nodes {
+		stops = append(stops, n*2)
+	}
+	return &Plan{Stops: stops}, nil
+}
+
+// memoize is an audited mutation boundary: the directive stops the
+// worklist, so neither this write nor anything below it is reported.
+//
+//mdglint:allow-mut(fixture boundary: idempotent cache publication, serialized by the caller)
+func memoize(nw *Network) {
+	nw.cache = append([]int(nil), nw.Nodes...)
+}
+
+type cached struct{}
+
+// Plan exercises the boundary: the memoize call carries taint but is not
+// descended into.
+func (c *cached) Plan(ctx context.Context, sc Scenario, opts Options) (*Plan, error) {
+	memoize(sc.Net)
+	return &Plan{Stops: []int{0}}, nil
+}
+
+type excused struct{}
+
+// Plan exercises the line-level excuse: the write is real but carries a
+// reasoned same-line directive.
+func (e *excused) Plan(ctx context.Context, sc Scenario, opts Options) (*Plan, error) {
+	sc.Net.Nodes[0] = 9 //mdglint:allow-mut(fixture: same-line excuse on an audited write)
+	return &Plan{Stops: []int{0}}, nil
+}

@@ -93,7 +93,7 @@ func TestCrossAnalyzerFixture(t *testing.T) {
 	wantOrder := []string{
 		"globalvar", "determinism", "floateq", "nopanic",
 		"errcheck", "unitcheck", "loopcapture", "convcheck",
-		"alloccheck", "parpure",
+		"alloccheck", "parpure", "errflow", "purecheck", "ctxflow",
 	}
 	if len(findings) != len(wantOrder) {
 		t.Fatalf("got %d findings, want %d:\n%v", len(findings), len(wantOrder), findings)

@@ -6,6 +6,7 @@ package wsn
 
 import (
 	"fmt"
+	"sync"
 
 	"mobicol/internal/geom"
 	"mobicol/internal/graph"
@@ -26,8 +27,14 @@ type Network struct {
 	Range float64    // transmission range R_s in metres
 	Field geom.Rect  // deployment area
 
-	g     *graph.Graph    // lazy unit-disk graph (hop weights = 1 per edge? see buildGraph)
-	index *geom.GridIndex // lazy spatial index over node positions
+	// Lazy caches. Scenarios are shared across concurrent planning
+	// requests, so first-use construction is serialized: without the
+	// Once guards two planners racing on a cold network would both
+	// build and publish unsynchronized.
+	gOnce   sync.Once
+	g       *graph.Graph // lazy unit-disk graph
+	idxOnce sync.Once
+	index   *geom.GridIndex // lazy spatial index over node positions
 }
 
 // New builds a network from explicit sensor positions.
@@ -55,21 +62,26 @@ func (nw *Network) Positions() []geom.Point {
 	return out
 }
 
-// positionsRef returns the cached position slice backing the spatial index.
+// ensureIndex returns the spatial index over node positions, building it
+// on first use.
+//
+//mdglint:allow-mut(idempotent lazy cache: the only write is the sync.Once-guarded publication of an index derived from immutable fields)
 func (nw *Network) ensureIndex() *geom.GridIndex {
-	if nw.index == nil {
+	nw.idxOnce.Do(func() {
 		nw.index = geom.NewGridIndex(nw.Positions(), nw.Range)
-	}
+	})
 	return nw.index
 }
 
 // Graph returns the unit-disk connectivity graph: vertices are sensors and
 // an edge joins every pair within transmission range. Edge weights are the
 // Euclidean distances; hop-count algorithms (BFS) ignore weights.
+//
+//mdglint:allow-mut(idempotent lazy cache: the only write is the sync.Once-guarded publication of the unit-disk graph derived from immutable fields)
 func (nw *Network) Graph() *graph.Graph {
-	if nw.g == nil {
+	nw.gOnce.Do(func() {
 		nw.g = nw.buildGraph()
-	}
+	})
 	return nw.g
 }
 
